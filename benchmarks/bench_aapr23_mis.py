@@ -1,0 +1,56 @@
+"""AAPR23 — §1.1: MIS in χ_G rounds is optimal (the [AAPR23] answer).
+
+Regenerates the χ_G-round Supported LOCAL MIS algorithm on certified
+support graphs (measured rounds = number of coloring classes) next to the
+Theorem 1.7 instantiation Δ = Δ′logΔ′, Δ′ = log n/log log n whose lower
+bound Ω(log n / log log n) matches the chromatic number Θ(Δ/log Δ) —
+negatively answering [AAPR23]'s open question.
+"""
+
+from repro.algorithms import supported_mis_by_coloring
+from repro.checkers import check_mis
+from repro.core.bounds import aapr23_mis_parameters
+from repro.graphs import analyze_support_graph, cage
+from repro.utils.tables import print_table
+
+
+def test_aapr23_mis_rounds(benchmark):
+    def run():
+        rows = []
+        for name in ("petersen", "heawood", "pappus", "mcgee", "tutte_coxeter"):
+            graph, _degree, _girth = cage(name)
+            report = analyze_support_graph(graph)
+            mis, rounds = supported_mis_by_coloring(graph)
+            assert check_mis(graph, mis)
+            rows.append(
+                (name, report.n, report.chromatic_number, rounds, len(mis))
+            )
+        return rows
+
+    rows = benchmark(run)
+    for name, _n, chromatic, rounds, _size in rows:
+        # The χ_G-round algorithm: measured rounds within the greedy
+        # coloring's class count, which is ≥ χ_G.
+        assert rounds >= chromatic - 1, name
+    print_table(
+        ["support graph", "n", "χ_G", "measured MIS rounds", "|MIS|"],
+        rows,
+        title="AAPR23: the χ_G-round Supported LOCAL MIS (upper bound)",
+    )
+
+
+def test_aapr23_lower_bound_instantiation():
+    """The §1.1 parameter choice makes the Theorem 1.7 bound match the
+    χ_G upper bound up to constants: Ω(log n / log log n)."""
+    rows = []
+    for exponent in (16, 24, 32, 48):
+        n = 2**exponent
+        delta, delta_prime, bound = aapr23_mis_parameters(n)
+        rows.append((f"2^{exponent}", delta, delta_prime, round(bound, 2)))
+    values = [row[3] for row in rows]
+    assert values == sorted(values)  # grows with n
+    print_table(
+        ["n", "Δ = Δ'logΔ'", "Δ' = logn/loglogn", "bound Ω(logn/loglogn)"],
+        rows,
+        title="AAPR23: Theorem 1.7 instantiation answering the open question",
+    )

@@ -1,0 +1,49 @@
+"""FIG1 — regenerate Figure 1: the black diagram of Π_Δ'(x',y).
+
+Paper artifact: the diagram with edges Z→M, Z→P, P→O, O→X, M→X and the
+right-closed label-set family {X, OX, MX, MOX, POX, MPOX, ZMPOX} (§4.2).
+Reproduction: the mechanical strength relation matches Figure 1 exactly at
+generic parameters (x = 0); at the endpoint x' = Δ'−1−y it *refines* the
+drawn diagram with O ≡ X and M→O (see EXPERIMENTS.md), which only
+strengthens the Lemma 4.8/4.9 counting.
+"""
+
+from repro.formalism import black_diagram, diagram_edges, right_closed_subsets
+from repro.problems import pi_matching, pi_matching_endpoint
+from repro.utils.tables import print_table
+
+FIGURE1_REDUCTION = frozenset(
+    {("Z", "M"), ("Z", "P"), ("P", "O"), ("O", "X"), ("M", "X")}
+)
+
+
+def regenerate_figure1():
+    generic = black_diagram(pi_matching(5, 0, 1))
+    endpoint = black_diagram(pi_matching_endpoint(5, 1))
+    return generic, endpoint
+
+
+def test_fig1_diagram(benchmark):
+    generic, endpoint = benchmark(regenerate_figure1)
+
+    generic_edges = diagram_edges(generic)
+    # Figure 1's drawn edges are all present at x = 0 …
+    assert FIGURE1_REDUCTION <= generic_edges
+    # … and the full relation adds only their transitive closure.
+    transitive = {("Z", "O"), ("Z", "X"), ("P", "X")}
+    assert generic_edges == FIGURE1_REDUCTION | transitive
+
+    endpoint_sets = {
+        "".join(sorted(s)) for s in right_closed_subsets(endpoint)
+    }
+    paper_family = {"X", "OX", "MX", "MOX", "OPX", "MOPX", "MOPXZ"}
+    assert endpoint_sets <= paper_family
+
+    print_table(
+        ["artifact", "paper", "measured"],
+        [
+            ("diagram edges (x=0)", sorted(FIGURE1_REDUCTION), sorted(generic_edges)),
+            ("right-closed sets (endpoint)", sorted(paper_family), sorted(endpoint_sets)),
+        ],
+        title="FIG1: black diagram of the matching family",
+    )

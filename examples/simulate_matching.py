@@ -1,0 +1,62 @@
+"""Supported LOCAL simulation: maximal matching upper vs lower bound.
+
+Theorem 4.1 says x-maximal y-matching needs Ω(min{(Δ′−x)/y, log_Δ n})
+rounds even with the support graph known in advance; the proposal
+algorithm gives the matching O(Δ′) upper bound.  This example runs the
+distributed proposal algorithm on double covers of certified high-girth
+graphs for a sweep of input degrees Δ′ and prints measured rounds next to
+the paper's bound — the linear-in-Δ′ *shape* is the reproduced claim.
+
+Run:  python examples/simulate_matching.py
+"""
+
+import networkx as nx
+
+from repro.algorithms import bipartite_maximal_matching
+from repro.checkers import check_maximal_matching
+from repro.core.bounds import matching_sequence_length
+from repro.graphs import bipartite_double_cover, cage
+from repro.utils.tables import print_table
+
+
+def input_subgraph_of_degree(cover: nx.Graph, delta_prime: int) -> frozenset:
+    """A spanning subgraph of the cover with max degree ≈ Δ′ (greedy)."""
+    degrees = {node: 0 for node in cover.nodes}
+    chosen = set()
+    for edge in sorted(cover.edges, key=str):
+        u, v = edge
+        if degrees[u] < delta_prime and degrees[v] < delta_prime:
+            chosen.add(frozenset(edge))
+            degrees[u] += 1
+            degrees[v] += 1
+    return frozenset(chosen)
+
+
+def main() -> None:
+    support, degree, _girth = cage("tutte_coxeter")
+    cover = bipartite_double_cover(support)
+    print(f"support: double cover of Tutte–Coxeter, n={cover.number_of_nodes()}, "
+          f"Δ={degree}")
+
+    rows = []
+    for delta_prime in range(1, degree + 1):
+        input_edges = input_subgraph_of_degree(cover, delta_prime)
+        matching, rounds = bipartite_maximal_matching(cover, input_edges)
+        input_graph = nx.Graph(tuple(edge) for edge in input_edges)
+        valid = bool(check_maximal_matching(input_graph, matching))
+        k = matching_sequence_length(delta_prime, x=0, y=1)
+        rows.append((delta_prime, len(input_edges), rounds, k, valid))
+
+    print_table(
+        ["Δ'", "input edges", "measured rounds (upper)", "sequence length k (lower-bound driver)", "valid"],
+        rows,
+        title="\nmaximal matching: measured rounds vs Δ' (paper: both sides Θ(Δ'))",
+    )
+    print(
+        "\nShape check: measured rounds grow linearly in Δ' (2Δ' by "
+        "construction), matching the Ω((Δ'−x)/y) lower bound driver k."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""End-to-end Supported LOCAL lower bound (the Theorem 3.4 pipeline).
+
+Reproduces the paper's blueprint on a concrete instance:
+
+1. pick the arbdefective coloring fixed point Π_Δ'(k) (Lemma 5.4 makes the
+   constant sequence a lower bound sequence of any length);
+2. pick a certified support graph (here: the Tutte–Coxeter cage, 3-regular,
+   girth 8);
+3. refute lift_{Δ,2}(Π_Δ'(k)) on it with the exact CSP solver;
+4. conclude min{k, (g−4)/2} deterministic rounds and the Lemma C.2
+   randomized bound — a fully machine-checked certificate.
+
+Run:  python examples/supported_lower_bound.py
+"""
+
+from repro.core import supported_local_lower_bound_hypergraph
+from repro.graphs import analyze_support_graph, cage
+from repro.problems import pi_arbdefective
+from repro.roundelim import constant_sequence
+from repro.utils.tables import print_table
+
+
+def main() -> None:
+    support, degree, girth = cage("tutte_coxeter")
+    report = analyze_support_graph(support)
+    print(f"support graph: Tutte–Coxeter cage, n={report.n}, Δ={report.degree}, "
+          f"girth={report.girth}, χ={report.chromatic_number}")
+
+    problem = pi_arbdefective(2, 1)  # Δ' = 2, k = 1: needs a 2-coloring
+    sequence = constant_sequence(problem, length=6)
+    print(f"problem: {problem.name} (input degree Δ' = 2), "
+          f"constant sequence of length {sequence.length} (Lemma 5.4 fixed point)")
+
+    certificate = supported_local_lower_bound_hypergraph(
+        support, sequence, problem, delta=degree, rank=2
+    )
+    rows = [
+        ("lift unsolvable on support", certificate.lift_unsolvable),
+        ("sequence length k", certificate.sequence_length),
+        ("girth g", certificate.girth),
+        ("deterministic rounds ≥ min{k,(g−4)/2}", certificate.deterministic_rounds),
+        ("randomized rounds (Lemma C.2 lift)", certificate.randomized_rounds),
+    ]
+    print_table(["quantity", "value"], rows, title="\nLower bound certificate")
+
+    print(
+        "\nInterpretation: any deterministic Supported LOCAL algorithm for "
+        f"{problem.name} on this support graph needs at least "
+        f"{certificate.deterministic_rounds} rounds — even though every node "
+        "knows the entire support graph in advance."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro — reproduction of "Tight Lower Bounds in the Supported LOCAL Model".
+
+Paper: Balliu, Boudier, Brandt, Olivetti (PODC 2024, arXiv:2405.00825).
+
+The library implements, end to end, the machinery the paper builds:
+
+* :mod:`repro.formalism` — the black-white formalism, strength diagrams and
+  relaxations (paper §2);
+* :mod:`repro.roundelim` — the round elimination operators R, R̄, RE
+  (Appendix B);
+* :mod:`repro.core` — the lift operator (Definition 3.1), the 0-round
+  solvability equivalence (Theorem 3.2), the deterministic lower-bound
+  framework (Theorems 3.4, B.2) and the derandomization theorems
+  (Appendix C);
+* :mod:`repro.problems` — the paper's problem families: x-maximal
+  y-matchings Π_Δ(x,y) (§4), arbdefective colorings Π_Δ(c) (§5) and
+  arbdefective colored ruling sets Π_Δ(c,β) (§6);
+* :mod:`repro.graphs` — certified high-girth / low-independence graph
+  substrates (Lemma 2.1), double covers and hypergraphs;
+* :mod:`repro.local` — a round-by-round LOCAL / Supported LOCAL simulator;
+* :mod:`repro.solvers` — exact solution-existence solvers used to decide
+  lift solvability on concrete support graphs;
+* :mod:`repro.algorithms` — distributed upper-bound algorithms bracketing
+  the lower bounds;
+* :mod:`repro.analysis` — executable versions of the paper's proof steps
+  (Lemmas 4.7-4.9, 5.7-5.10, 6.6);
+* :mod:`repro.checkers` — validity checkers for formalism solutions and for
+  the concrete graph problems.
+"""
+
+from repro.formalism import Problem
+
+__version__ = "1.0.0"
+
+__all__ = ["Problem", "__version__"]

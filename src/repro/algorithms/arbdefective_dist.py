@@ -1,0 +1,72 @@
+"""Arbdefective coloring by class sweep (the §5 upper-bound companion).
+
+Given a proper k-coloring, sweep its classes in order; when a node's class
+comes up it picks the bucket b ∈ {1..c} chosen by the *fewest* of its
+already-finalized neighbors, and orients its now-monochromatic edges
+towards those finalized neighbors.  By pigeonhole the chosen bucket is
+shared by at most ⌊deg(v)/c⌋ ≤ ⌊Δ/c⌋ finalized neighbors, so the
+outdegree is at most α := ⌊Δ/c⌋; every monochromatic edge to a *later*
+neighbor is oriented by that neighbor.  Cost: one round per class on top
+of the coloring — the trade Theorem 5.1 proves cannot be beaten when
+(α+1)c ≤ min{Δ′, εΔ/log Δ}.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.checkers.graph_problems import CheckResult, check_arbdefective_coloring
+from repro.utils import InvalidParameterError
+
+
+def class_sweep_arbdefective_coloring(
+    graph: nx.Graph, proper_coloring: dict, colors: int
+) -> tuple[dict, set[tuple], int, int]:
+    """α-arbdefective ``colors``-coloring from a proper coloring.
+
+    Returns (color_of ∈ {1..c}, orientation pairs, α = ⌊Δ/c⌋, rounds).
+    Rounds equal the number of classes in the input coloring (each class
+    decides one round after seeing earlier classes' bucket choices).
+    """
+    if colors < 1:
+        raise InvalidParameterError(f"need c ≥ 1, got {colors}")
+    distinct = sorted(set(proper_coloring.values()), key=str)
+    rank = {value: index for index, value in enumerate(distinct)}
+    for u, v in graph.edges:
+        if proper_coloring[u] == proper_coloring[v]:
+            raise InvalidParameterError(
+                f"input coloring is not proper: edge {(u, v)} monochromatic"
+            )
+
+    delta = max((graph.degree(v) for v in graph.nodes), default=0)
+    alpha = delta // colors
+
+    color_of: dict = {}
+    orientation: set[tuple] = set()
+    for node in sorted(graph.nodes, key=lambda v: rank[proper_coloring[v]]):
+        bucket_loads = {bucket: 0 for bucket in range(1, colors + 1)}
+        finalized_neighbors: dict[int, list] = {
+            bucket: [] for bucket in range(1, colors + 1)
+        }
+        for neighbor in graph.neighbors(node):
+            bucket = color_of.get(neighbor)
+            if bucket is not None:
+                bucket_loads[bucket] += 1
+                finalized_neighbors[bucket].append(neighbor)
+        chosen = min(bucket_loads, key=lambda b: (bucket_loads[b], b))
+        color_of[node] = chosen
+        for neighbor in finalized_neighbors[chosen]:
+            orientation.add((node, neighbor))
+
+    rounds = len(distinct)
+    return color_of, orientation, alpha, rounds
+
+
+def verify_class_sweep_construction(
+    graph: nx.Graph, proper_coloring: dict, colors: int
+) -> CheckResult:
+    """Run the reduction and validate it with the §5 checker."""
+    color_of, orientation, alpha, _rounds = class_sweep_arbdefective_coloring(
+        graph, proper_coloring, colors
+    )
+    return check_arbdefective_coloring(graph, color_of, orientation, alpha, colors)

@@ -1,0 +1,76 @@
+"""Distributed coloring: class-sweep color reduction.
+
+Given any m-coloring (in Supported LOCAL the shared greedy coloring of G
+is free; in plain LOCAL the IDs are an n-coloring), sweeping the classes
+in order and re-coloring each node with the smallest color unused by
+already-final neighbors produces a (Δ+1)-coloring in m rounds.  This is
+the upper-bound companion of the §5 experiments (Theorem 5.1's remark:
+given a k-coloring of the support graph, nodes can compute it with no
+communication; the sweep then trades colors for rounds).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.graphs.chromatic import greedy_coloring
+from repro.local.network import Network
+from repro.local.simulator import NodeAlgorithm, RunResult, run_synchronous
+
+
+class _ClassSweepNode(NodeAlgorithm):
+    """Color class i finalizes in round i+1, announcing its new color."""
+
+    def init(self) -> None:
+        self.initial = self.ctx.extra["initial_color"]
+        self.num_classes = self.ctx.extra["num_classes"]
+        self.final: int | None = None
+        self.neighbor_finals: set[int] = set()
+        self.round = 0
+        if self.num_classes == 0:
+            self.halt(0)
+
+    def send(self) -> dict[int, object]:
+        if self.initial == self.round:
+            candidate = 0
+            while candidate in self.neighbor_finals:
+                candidate += 1
+            self.final = candidate
+            return {port: ("final", candidate) for port in self.ctx.ports}
+        return {}
+
+    def receive(self, messages: dict[int, object]) -> None:
+        for payload in messages.values():
+            if payload and payload[0] == "final":
+                self.neighbor_finals.add(payload[1])
+        self.round += 1
+        if self.round >= self.num_classes:
+            self.halt(self.final)
+
+
+def class_sweep_coloring(
+    graph: nx.Graph, initial_coloring: dict | None = None
+) -> tuple[dict, int]:
+    """Reduce an initial coloring to a (Δ+1)-coloring, one round per class.
+
+    Defaults to the shared greedy support-graph coloring (the Supported
+    LOCAL setting).  Returns ({node: color}, rounds).
+    """
+    if initial_coloring is None:
+        initial_coloring = greedy_coloring(graph)
+    num_classes = max(initial_coloring.values(), default=-1) + 1
+    network = Network(graph=graph)
+
+    def extra(node) -> dict:
+        return {
+            "initial_color": initial_coloring[node],
+            "num_classes": num_classes,
+        }
+
+    result: RunResult = run_synchronous(network, _ClassSweepNode, extra=extra)
+    return dict(result.outputs), result.rounds
+
+
+def coloring_from_ids(network: Network) -> dict:
+    """The trivial n-coloring by IDs (plain-LOCAL starting point)."""
+    return {node: network.ids[node] - 1 for node in network.graph.nodes}

@@ -1,0 +1,134 @@
+"""Maximal independent set algorithms.
+
+Two algorithms bracket the paper's §1.1 discussion of [AAPR23]:
+
+* :func:`supported_mis_by_coloring` — the χ_G-round Supported LOCAL upper
+  bound: every node knows G, so all nodes compute the *same* coloring of G
+  without communication, then process color classes one round each.
+  Theorem 1.7 shows this is optimal for deterministic algorithms.
+* :func:`luby_mis` — Luby's randomized MIS in the plain LOCAL model, as a
+  baseline exercising the randomized simulator path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from repro.graphs.chromatic import greedy_coloring
+from repro.local.network import Network
+from repro.local.simulator import NodeAlgorithm, RunResult, run_synchronous
+
+
+class _ColorClassMISNode(NodeAlgorithm):
+    """Processes shared color classes: class i decides in round i+1."""
+
+    def init(self) -> None:
+        self.color = self.ctx.extra["color"]
+        self.num_colors = self.ctx.extra["num_colors"]
+        self.in_mis = False
+        self.blocked = False
+        self.round = 0
+        if self.num_colors == 0:
+            self.halt(False)
+
+    def send(self) -> dict[int, object]:
+        if self.color == self.round and not self.blocked:
+            # Joining this round: announce to all neighbors.
+            self.in_mis = True
+            return {port: "joined" for port in self.ctx.ports}
+        return {}
+
+    def receive(self, messages: dict[int, object]) -> None:
+        if any(text == "joined" for text in messages.values()):
+            self.blocked = True
+        self.round += 1
+        if self.round >= self.num_colors:
+            self.halt(self.in_mis)
+
+
+def supported_mis_by_coloring(support: nx.Graph) -> tuple[set, int]:
+    """The [AAPR23] χ_G-round MIS in the Supported LOCAL model.
+
+    The shared greedy coloring of the support graph is free (0 rounds:
+    everyone knows G and computes the same coloring); the class sweep
+    costs one round per color.  Returns (MIS, rounds) where rounds equals
+    the number of colors used.
+    """
+    coloring = greedy_coloring(support)
+    num_colors = max(coloring.values(), default=-1) + 1
+    network = Network(graph=support)
+
+    def extra(node) -> dict:
+        return {"color": coloring[node], "num_colors": num_colors}
+
+    result: RunResult = run_synchronous(network, _ColorClassMISNode, extra=extra)
+    mis = {node for node, joined in result.outputs.items() if joined}
+    return mis, result.rounds
+
+
+class _LubyNode(NodeAlgorithm):
+    """One phase = 3 rounds: draw+compare, announce join, withdraw."""
+
+    def init(self) -> None:
+        self.rng: random.Random = self.ctx.random_bits
+        self.state = "active"  # active | in | out
+        self.step = 0
+        self.value: float = 0.0
+        self.neighbor_values: dict[int, float] = {}
+        if self.ctx.degree == 0:
+            self.halt(True)
+
+    def send(self) -> dict[int, object]:
+        phase_step = self.step % 2
+        if self.state == "active" and phase_step == 0:
+            self.value = self.rng.random()
+            return {port: ("value", self.value) for port in self.ctx.ports}
+        if phase_step == 1:
+            if self.state == "joining":
+                return {port: ("joined",) for port in self.ctx.ports}
+        return {}
+
+    def receive(self, messages: dict[int, object]) -> None:
+        phase_step = self.step % 2
+        if phase_step == 0 and self.state == "active":
+            values = [
+                payload[1]
+                for payload in messages.values()
+                if payload and payload[0] == "value"
+            ]
+            if all(self.value > other for other in values):
+                self.state = "joining"
+        elif phase_step == 1:
+            if self.state == "joining":
+                self.state = "in"
+                self.halt(True)
+                return
+            if self.state == "active" and any(
+                payload and payload[0] == "joined" for payload in messages.values()
+            ):
+                self.state = "out"
+                self.halt(False)
+                return
+        self.step += 1
+
+
+def luby_mis(graph: nx.Graph, seed: int = 0) -> tuple[set, int]:
+    """Luby's randomized MIS (plain LOCAL); returns (MIS, rounds).
+
+    Terminates with probability 1; expected O(log n) phases.  Ties are
+    broken by fresh draws each phase; isolated nodes join immediately.
+    """
+    network = Network(graph=graph)
+    master = random.Random(seed)
+    sources = {
+        node: random.Random(master.randrange(2**63))
+        for node in sorted(graph.nodes, key=str)
+    }
+
+    result = run_synchronous(
+        network, _LubyNode, rng_for=lambda node: sources[node], max_rounds=10_000
+    )
+    mis = {node for node, joined in result.outputs.items() if joined}
+    return mis, result.rounds

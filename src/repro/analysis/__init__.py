@@ -1,0 +1,45 @@
+"""Executable versions of the paper's proof steps."""
+
+from repro.analysis.coloring_extraction import (
+    extract_coloring,
+    palette_size,
+    x_graph,
+)
+from repro.analysis.counting import (
+    MatchingCountingCertificate,
+    classify_matching_nodes,
+    contradiction_region,
+    count_label_edges,
+    matching_counting_certificate,
+)
+from repro.analysis.hall_extraction import (
+    decode_color_union,
+    extract_family_solution,
+    hall_violator,
+)
+from repro.analysis.ruling_peeling import (
+    BarPiChecker,
+    PeelResult,
+    classify_types,
+    peel_once,
+    type1_fraction_certificate,
+)
+
+__all__ = [
+    "BarPiChecker",
+    "MatchingCountingCertificate",
+    "PeelResult",
+    "classify_matching_nodes",
+    "classify_types",
+    "contradiction_region",
+    "count_label_edges",
+    "decode_color_union",
+    "extract_coloring",
+    "extract_family_solution",
+    "hall_violator",
+    "matching_counting_certificate",
+    "palette_size",
+    "peel_once",
+    "type1_fraction_certificate",
+    "x_graph",
+]

@@ -1,0 +1,130 @@
+"""Lemma 5.10, executable: Π_Δ(k) S-solutions → proper 2k-colorings.
+
+The lemma's proof constructs, from an S-solution of Π_Δ(k) (each node v
+holding a configuration ℓ(C_v)^{Δ−x_v} X^{x_v}):
+
+1. the graph G_X: S-induced edges labeled X on at least one side (edges
+   with two ℓ labels already have disjoint color sets);
+2. a degeneracy-style ordering: repeatedly pick a node whose remaining
+   G_X-degree is ≤ 2|C_v| − 1 (the proof's counting argument shows one
+   always exists: |E(G_X restricted)| ≤ Σ(|C_v|−1));
+3. reverse-greedy coloring from the doubled palette
+   C′_v = {(c, 1), (c, 2) : c ∈ C_v}: each node has more colors available
+   than colored G_X-neighbors.
+
+Colors are reported as pairs (c, copy) with copy ∈ {1, 2} — the "2k"
+palette; the result is validated to be a proper coloring of the S-induced
+subgraph by the caller (and by this module's own assertion).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.formalism.configurations import Label
+from repro.formalism.labels import color_label_members, is_set_label
+from repro.utils import CertificateError
+
+
+def node_color_set(
+    graph: nx.Graph, node, labels: dict[tuple, Label]
+) -> frozenset[int]:
+    """C_v: the color set of v's ℓ(C_v) labels (must be consistent)."""
+    sets = {
+        color_label_members(labels[(node, neighbor)])
+        for neighbor in graph.neighbors(node)
+        if labels[(node, neighbor)] != "X" and is_set_label(labels[(node, neighbor)])
+    }
+    if len(sets) != 1:
+        raise CertificateError(
+            f"node {node!r} uses {len(sets)} distinct ℓ(C) labels; an "
+            f"S-solution configuration uses exactly one"
+        )
+    return next(iter(sets))
+
+
+def x_graph(
+    graph: nx.Graph, s_nodes: set, labels: dict[tuple, Label]
+) -> nx.Graph:
+    """G_X: S-induced edges carrying X on at least one side."""
+    result = nx.Graph()
+    result.add_nodes_from(node for node in graph.nodes if node in s_nodes)
+    for u, v in graph.edges:
+        if u not in s_nodes or v not in s_nodes:
+            continue
+        if labels[(u, v)] == "X" or labels[(v, u)] == "X":
+            result.add_edge(u, v)
+    return result
+
+
+def elimination_ordering(
+    gx: nx.Graph, color_sets: dict
+) -> list:
+    """The proof's ordering: v_i has ≤ 2|C_{v_i}|−1 neighbors among later
+    nodes.  Raises if none exists — which the proof's counting argument
+    rules out for genuine S-solutions."""
+    remaining = nx.Graph(gx)
+    ordering: list = []
+    while remaining.number_of_nodes():
+        chosen = None
+        for node in sorted(remaining.nodes, key=str):
+            if remaining.degree(node) <= 2 * len(color_sets[node]) - 1:
+                chosen = node
+                break
+        if chosen is None:
+            raise CertificateError(
+                "no node satisfies the degree bound — the input is not a "
+                "valid Π_Δ(k) S-solution (Lemma 5.10's counting argument)"
+            )
+        ordering.append(chosen)
+        remaining.remove_node(chosen)
+    return ordering
+
+
+def extract_coloring(
+    graph: nx.Graph, s_nodes: set, labels: dict[tuple, Label]
+) -> dict:
+    """Run the Lemma 5.10 construction; returns {node: (color, copy)}.
+
+    The palette has 2k colors when the solution uses k base colors.  The
+    produced coloring is verified proper on the S-induced subgraph before
+    being returned.
+    """
+    color_sets = {
+        node: node_color_set(graph, node, labels)
+        for node in s_nodes
+    }
+    gx = x_graph(graph, s_nodes, labels)
+    ordering = elimination_ordering(gx, color_sets)
+
+    assignment: dict = {}
+    for node in reversed(ordering):
+        palette = [
+            (color, copy) for color in sorted(color_sets[node]) for copy in (1, 2)
+        ]
+        used = {
+            assignment[neighbor]
+            for neighbor in gx.neighbors(node)
+            if neighbor in assignment
+        }
+        free = [color for color in palette if color not in used]
+        if not free:
+            raise CertificateError(
+                f"node {node!r} ran out of colors — impossible for a valid "
+                f"S-solution (it has ≤ 2|C|−1 colored G_X neighbors)"
+            )
+        assignment[node] = free[0]
+
+    induced = graph.subgraph(s_nodes)
+    for u, v in induced.edges:
+        if assignment[u] == assignment[v]:
+            raise CertificateError(
+                f"extraction produced a monochromatic edge {(u, v)} — the "
+                f"input was not a valid S-solution"
+            )
+    return assignment
+
+
+def palette_size(assignment: dict) -> int:
+    """Number of distinct (color, copy) pairs used — compared to 2k."""
+    return len(set(assignment.values()))

@@ -1,0 +1,146 @@
+"""The §4.2 counting certificates (Lemmas 4.7, 4.8, 4.9).
+
+Theorem 4.1's unsolvability proof is a counting contradiction about *any*
+hypothetical solution of ¯Π = lift_{Δ,Δ}(Π_Δ′(x′,y)) on a (Δ,Δ)-biregular
+2-colored graph with 2n nodes:
+
+* Lemma 4.7 — at most n·y edges carry label-sets containing M;
+* Lemma 4.8 — at least n((Δ−Δ′)/2 − y) edges carry label-sets containing P;
+* Lemma 4.9 — at most n(Δ′−1) edges carry label-sets containing P;
+
+and for Δ ≥ 5Δ′ the last two collide.  This module makes each count and
+each bound executable: given any label-set assignment, it computes the
+counts, checks each lemma's inequality, and reports whether the
+contradiction region is reached.  On real lift solutions (which exist only
+outside the lower-bound regime) all three inequalities are verified to
+hold; inside the regime the CSP solver's unsat answer and the closed-form
+contradiction check corroborate each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.formalism.configurations import Label
+from repro.utils import CertificateError
+
+
+@dataclass(frozen=True)
+class MatchingCountingCertificate:
+    """Counts and lemma checks for one label-set assignment."""
+
+    n_half: int  # the paper's n (graph has 2n nodes)
+    delta: int
+    delta_prime: int
+    y: int
+    m_edges: int
+    p_edges: int
+    lemma_47_bound: float
+    lemma_48_bound: float
+    lemma_49_bound: float
+
+    @property
+    def lemma_47_holds(self) -> bool:
+        """M-edges ≤ n·y."""
+        return self.m_edges <= self.lemma_47_bound
+
+    @property
+    def lemma_48_holds(self) -> bool:
+        """P-edges ≥ n((Δ−Δ′)/2 − y)."""
+        return self.p_edges >= self.lemma_48_bound
+
+    @property
+    def lemma_49_holds(self) -> bool:
+        """P-edges ≤ n(Δ′−1)."""
+        return self.p_edges <= self.lemma_49_bound
+
+    @property
+    def bounds_contradict(self) -> bool:
+        """Is the 4.8 lower bound above the 4.9 upper bound?
+
+        When true, *no* assignment can satisfy both, i.e. no lift solution
+        exists — the §4.2 conclusion.
+        """
+        return self.lemma_48_bound > self.lemma_49_bound
+
+
+def count_label_edges(
+    assignment: dict[frozenset, frozenset[Label]], label: Label
+) -> int:
+    """Number of edges whose label-set contains ``label``."""
+    return sum(1 for label_set in assignment.values() if label in label_set)
+
+
+def matching_counting_certificate(
+    graph: nx.Graph,
+    assignment: dict[frozenset, frozenset[Label]],
+    delta: int,
+    delta_prime: int,
+    y: int,
+) -> MatchingCountingCertificate:
+    """Evaluate the three lemmas on a concrete label-set assignment.
+
+    ``graph`` must be (Δ,Δ)-biregular with an even node count 2n; the
+    assignment maps each edge to a set of Π_Δ′(x′,y) labels.
+    """
+    nodes = graph.number_of_nodes()
+    if nodes % 2 != 0:
+        raise CertificateError(f"graph has odd node count {nodes}; need 2n")
+    n_half = nodes // 2
+    missing = [edge for edge in graph.edges if frozenset(edge) not in assignment]
+    if missing:
+        raise CertificateError(f"assignment misses edges, e.g. {missing[0]}")
+
+    return MatchingCountingCertificate(
+        n_half=n_half,
+        delta=delta,
+        delta_prime=delta_prime,
+        y=y,
+        m_edges=count_label_edges(assignment, "M"),
+        p_edges=count_label_edges(assignment, "P"),
+        lemma_47_bound=n_half * y,
+        lemma_48_bound=n_half * ((delta - delta_prime) / 2 - y),
+        lemma_49_bound=n_half * (delta_prime - 1),
+    )
+
+
+def contradiction_region(delta: int, delta_prime: int, y: int) -> bool:
+    """The closed-form §4.2 contradiction check: (Δ−Δ′)/2 − y > Δ′ − 1.
+
+    The paper fixes c = 5 (Δ = 5Δ′) and shows n(2Δ′ − y) ≥ nΔ′ > n(Δ′−1);
+    this predicate is the exact inequality behind that computation.
+    """
+    return (delta - delta_prime) / 2 - y > delta_prime - 1
+
+
+def classify_matching_nodes(
+    graph: nx.Graph,
+    assignment: dict[frozenset, frozenset[Label]],
+    delta: int,
+    delta_prime: int,
+) -> tuple[set, set]:
+    """Lemma 4.8's split of white nodes into M-nodes and P-nodes.
+
+    An *M-node* has ≥ (Δ−Δ′)/2 incident edges whose label-sets contain M;
+    the others are *P-nodes*.  Only meaningful for the bipartite white
+    side; callers pass the appropriate node subset via graph attributes
+    (color = "white").
+    """
+    threshold = (delta - delta_prime) / 2
+    m_nodes: set = set()
+    p_nodes: set = set()
+    for node, data in graph.nodes(data=True):
+        if data.get("color") != "white":
+            continue
+        m_count = sum(
+            1
+            for neighbor in graph.neighbors(node)
+            if "M" in assignment[frozenset((node, neighbor))]
+        )
+        if m_count >= threshold:
+            m_nodes.add(node)
+        else:
+            p_nodes.add(node)
+    return m_nodes, p_nodes

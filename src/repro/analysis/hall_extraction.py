@@ -1,0 +1,157 @@
+"""Lemma 5.9, executable: lift solutions → Π_Δ(k) S-solutions via Hall.
+
+Given an S-solution of Π′ = lift_{Δ,2}(Π_Δ′(k)) on a Δ-regular graph
+(label-sets on half-edges), the lemma converts it into an S-solution of
+Π_Δ(k).  The proof — reproduced here step by step — runs, per node v:
+
+1. decode C_e(v) := ∪_{ℓ(C) ∈ L_e(v)} C, the colors an edge's label-set
+   can still carry (disjoint across the two sides of an edge, by the lift
+   black condition);
+2. build the bipartite graph H: colors {1..k} vs v's Δ edges, with
+   (color i, edge e) adjacent iff i ∉ C_e(v);
+3. a perfect matching on the color side would contradict the lift white
+   condition (the proof's Hall argument), so a Hall violator C with
+   |C| ≥ |N(C)| + 1 exists — found here through König's theorem;
+4. assign v the configuration ℓ(C)^{Δ−x} X^x with x = |C|−1: at most
+   |C|−1 edges miss a color of C, so the X budget suffices.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.formalism.configurations import Label
+from repro.formalism.labels import color_label, color_label_members, is_set_label
+from repro.utils import CertificateError
+
+
+def decode_color_union(label_set: frozenset[Label]) -> frozenset[int]:
+    """C_e(v): the union of color sets over the ℓ(C) members of L_e(v)."""
+    colors: set[int] = set()
+    for label in label_set:
+        if label == "X" or not is_set_label(label):
+            continue
+        colors.update(color_label_members(label))
+    return frozenset(colors)
+
+
+def hall_violator(
+    colors: range, edge_color_sets: list[frozenset[int]]
+) -> set[int] | None:
+    """A set C of colors with |C| > |N(C)|, or None if Hall's condition
+    holds (N(C) = edges *not* carrying all of C, per the lemma's H).
+
+    H has an edge (i, j) iff color i ∉ edge_color_sets[j]; we look for a
+    violator of Hall's condition on the color side via maximum matching
+    and König-style alternating reachability.
+    """
+    graph = nx.Graph()
+    color_nodes = [("color", i) for i in colors]
+    edge_nodes = [("edge", j) for j in range(len(edge_color_sets))]
+    graph.add_nodes_from(color_nodes, bipartite=0)
+    graph.add_nodes_from(edge_nodes, bipartite=1)
+    for i in colors:
+        for j, color_set in enumerate(edge_color_sets):
+            if i not in color_set:
+                graph.add_edge(("color", i), ("edge", j))
+
+    matching = nx.algorithms.bipartite.maximum_matching(
+        graph, top_nodes=color_nodes
+    )
+    saturated = [node for node in color_nodes if node in matching]
+    if len(saturated) == len(color_nodes):
+        return None
+
+    # Alternating BFS from unsaturated colors: color → edge via
+    # non-matching edges, edge → color via matching edges.
+    reachable_colors = {
+        node for node in color_nodes if node not in matching
+    }
+    reachable_edges: set = set()
+    frontier = set(reachable_colors)
+    while frontier:
+        next_frontier: set = set()
+        for color_node in frontier:
+            for edge_node in graph.neighbors(color_node):
+                if matching.get(color_node) == edge_node:
+                    continue
+                if edge_node in reachable_edges:
+                    continue
+                reachable_edges.add(edge_node)
+                matched_back = matching.get(edge_node)
+                if matched_back is not None and matched_back not in reachable_colors:
+                    reachable_colors.add(matched_back)
+                    next_frontier.add(matched_back)
+        frontier = next_frontier
+
+    violator = {node[1] for node in reachable_colors}
+    neighborhood = {
+        neighbor[1]
+        for color_node in reachable_colors
+        for neighbor in graph.neighbors(color_node)
+    }
+    if len(violator) <= len(neighborhood):
+        raise CertificateError(
+            "König reachability failed to produce a Hall violator"
+        )
+    return violator
+
+
+def extract_family_solution(
+    graph: nx.Graph,
+    s_nodes: set,
+    half_edge_sets: dict[tuple, frozenset[Label]],
+    k: int,
+) -> dict[tuple, Label]:
+    """Run the Lemma 5.9 conversion; returns Π_Δ(k) half-edge labels on S.
+
+    ``half_edge_sets[(v, u)]`` is L_e(v) for the edge e = {v,u}.  Raises
+    :class:`CertificateError` if the input violates the lift conditions it
+    relies on (disjointness across edges, white condition).
+    """
+    # Disjointness across each in-S edge (the lemma's first observation).
+    for u, v in graph.edges:
+        if u not in s_nodes or v not in s_nodes:
+            continue
+        cu = decode_color_union(half_edge_sets[(u, v)])
+        cv = decode_color_union(half_edge_sets[(v, u)])
+        if cu & cv:
+            raise CertificateError(
+                f"edge {(u, v)}: C_e(u) ∩ C_e(v) = {sorted(cu & cv)} ≠ ∅ — "
+                f"not a lift solution"
+            )
+
+    result: dict[tuple, Label] = {}
+    for node in sorted(s_nodes, key=str):
+        neighbors = sorted(graph.neighbors(node), key=str)
+        color_sets = [
+            decode_color_union(half_edge_sets[(node, neighbor)])
+            for neighbor in neighbors
+        ]
+        violator = hall_violator(range(1, k + 1), color_sets)
+        if violator is None:
+            raise CertificateError(
+                f"node {node!r}: Hall's condition holds, contradicting the "
+                f"lift white condition (Lemma 5.9's impossibility step)"
+            )
+        x_budget = len(violator) - 1
+        chosen = color_label(violator)
+        missing = [
+            index
+            for index, color_set in enumerate(color_sets)
+            if not violator <= color_set
+        ]
+        if len(missing) > x_budget:
+            raise CertificateError(
+                f"node {node!r}: {len(missing)} edges miss colors of the "
+                f"violator but only {x_budget} X's are available"
+            )
+        # Pad the X set deterministically to exactly x = |C|−1 edges.
+        x_indices = set(missing)
+        for index in range(len(neighbors)):
+            if len(x_indices) == x_budget:
+                break
+            x_indices.add(index)
+        for index, neighbor in enumerate(neighbors):
+            result[(node, neighbor)] = "X" if index in x_indices else chosen
+    return result

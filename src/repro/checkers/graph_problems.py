@@ -1,0 +1,205 @@
+"""Validity checkers for the concrete graph problems of the paper.
+
+Each checker takes a graph and a candidate solution and returns a
+:class:`CheckResult` naming the first violation, so failed experiments are
+diagnosable.  Definitions follow the paper: x-maximal y-matching (§1.1),
+α-arbdefective c-coloring (§5), α-arbdefective c-colored β-ruling set
+(§6.1), MIS, sinkless orientation, proper coloring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of a validity check."""
+
+    valid: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+def _ok() -> CheckResult:
+    return CheckResult(valid=True)
+
+
+def _fail(reason: str) -> CheckResult:
+    return CheckResult(valid=False, reason=reason)
+
+
+def check_x_maximal_y_matching(
+    graph: nx.Graph,
+    matching: set[frozenset],
+    x: int,
+    y: int,
+    delta: int | None = None,
+) -> CheckResult:
+    """x-maximal y-matching (paper §1.1).
+
+    Every node is incident to ≤ y matching edges; every unmatched node v
+    has ≥ min{deg(v), Δ−x} matched neighbors.  Δ defaults to the graph's
+    maximum degree.
+    """
+    if delta is None:
+        delta = max((graph.degree(v) for v in graph.nodes), default=0)
+    for edge in matching:
+        u, v = tuple(edge)
+        if not graph.has_edge(u, v):
+            return _fail(f"matching edge {(u, v)} is not a graph edge")
+    incidence = {node: 0 for node in graph.nodes}
+    for edge in matching:
+        for endpoint in edge:
+            incidence[endpoint] += 1
+    for node, count in incidence.items():
+        if count > y:
+            return _fail(f"node {node!r} is matched {count} > y = {y} times")
+    matched = {node for node, count in incidence.items() if count > 0}
+    for node in graph.nodes:
+        if node in matched:
+            continue
+        matched_neighbors = sum(
+            1 for neighbor in graph.neighbors(node) if neighbor in matched
+        )
+        needed = min(graph.degree(node), delta - x)
+        if matched_neighbors < needed:
+            return _fail(
+                f"unmatched node {node!r} has {matched_neighbors} matched "
+                f"neighbors < min{{deg, Δ−x}} = {needed}"
+            )
+    return _ok()
+
+
+def check_maximal_matching(graph: nx.Graph, matching: set[frozenset]) -> CheckResult:
+    """Maximal matching = 0-maximal 1-matching."""
+    return check_x_maximal_y_matching(graph, matching, x=0, y=1)
+
+
+def check_proper_coloring(graph: nx.Graph, color_of: dict) -> CheckResult:
+    """Every node colored; no monochromatic edge."""
+    for node in graph.nodes:
+        if node not in color_of:
+            return _fail(f"node {node!r} has no color")
+    for u, v in graph.edges:
+        if color_of[u] == color_of[v]:
+            return _fail(f"edge {(u, v)} is monochromatic (color {color_of[u]})")
+    return _ok()
+
+
+def check_arbdefective_coloring(
+    graph: nx.Graph,
+    color_of: dict,
+    orientation: set[tuple],
+    alpha: int,
+    colors: int,
+) -> CheckResult:
+    """α-arbdefective c-coloring (paper §5).
+
+    Colors in {1..c}; every monochromatic edge is oriented; outdegree ≤ α.
+    """
+    for node in graph.nodes:
+        color = color_of.get(node)
+        if color is None:
+            return _fail(f"node {node!r} has no color")
+        if not 1 <= color <= colors:
+            return _fail(f"node {node!r} has color {color} outside 1..{colors}")
+    oriented_pairs = set(orientation)
+    oriented_edges = {frozenset(pair) for pair in oriented_pairs}
+    for tail, head in oriented_pairs:
+        if not graph.has_edge(tail, head):
+            return _fail(f"oriented pair {(tail, head)} is not an edge")
+        if color_of[tail] != color_of[head]:
+            return _fail(f"oriented pair {(tail, head)} is not monochromatic")
+    for u, v in graph.edges:
+        if color_of[u] == color_of[v] and frozenset((u, v)) not in oriented_edges:
+            return _fail(f"monochromatic edge {(u, v)} is unoriented")
+    outdegree: dict = {node: 0 for node in graph.nodes}
+    for tail, _head in oriented_pairs:
+        outdegree[tail] += 1
+    for node, count in outdegree.items():
+        if count > alpha:
+            return _fail(f"node {node!r} has outdegree {count} > α = {alpha}")
+    return _ok()
+
+
+def check_ruling_set(
+    graph: nx.Graph, ruling_set: set, beta: int, independent: bool = False
+) -> CheckResult:
+    """β-domination: every node has an S-member within distance β.
+
+    With ``independent=True`` additionally checks S is independent (the
+    (2,β)-ruling set condition)."""
+    if not ruling_set:
+        if graph.number_of_nodes() == 0:
+            return _ok()
+        return _fail("empty ruling set on a non-empty graph")
+    distances = nx.multi_source_dijkstra_path_length(graph, set(ruling_set))
+    for node in graph.nodes:
+        if distances.get(node, float("inf")) > beta:
+            return _fail(f"node {node!r} is farther than β = {beta} from S")
+    if independent:
+        members = sorted(ruling_set, key=str)
+        for index, u in enumerate(members):
+            for v in members[index + 1 :]:
+                if graph.has_edge(u, v):
+                    return _fail(f"S contains adjacent nodes {u!r}, {v!r}")
+    return _ok()
+
+
+def check_arbdefective_colored_ruling_set(
+    graph: nx.Graph,
+    ruling_set: set,
+    color_of: dict,
+    orientation: set[tuple],
+    alpha: int,
+    colors: int,
+    beta: int,
+) -> CheckResult:
+    """α-arbdefective c-colored β-ruling set (paper §6.1)."""
+    domination = check_ruling_set(graph, ruling_set, beta)
+    if not domination:
+        return domination
+    induced = graph.subgraph(ruling_set)
+    coloring = check_arbdefective_coloring(
+        induced, {v: color_of[v] for v in ruling_set}, orientation, alpha, colors
+    )
+    if not coloring:
+        return _fail(f"induced coloring invalid: {coloring.reason}")
+    return _ok()
+
+
+def check_mis(graph: nx.Graph, independent_set: set) -> CheckResult:
+    """Maximal independent set: independent + dominating at distance 1."""
+    return check_ruling_set(graph, independent_set, beta=1, independent=True)
+
+
+def check_sinkless_orientation(
+    graph: nx.Graph, orientation: dict[frozenset, object]
+) -> CheckResult:
+    """Every edge oriented (orientation[edge] = head); no node is a sink.
+
+    Nodes of degree < Δ are exempt in some formulations; here every node
+    with degree ≥ 1 must have an outgoing edge, matching the white
+    constraint of the SO encoding on regular graphs.
+    """
+    for edge in graph.edges:
+        key = frozenset(edge)
+        if key not in orientation:
+            return _fail(f"edge {tuple(edge)} is unoriented")
+        if orientation[key] not in key:
+            return _fail(f"head of {tuple(edge)} is not an endpoint")
+    for node in graph.nodes:
+        if graph.degree(node) == 0:
+            continue
+        has_outgoing = any(
+            orientation[frozenset((node, neighbor))] != node
+            for neighbor in graph.neighbors(node)
+        )
+        if not has_outgoing:
+            return _fail(f"node {node!r} is a sink")
+    return _ok()

@@ -1,0 +1,163 @@
+"""Closed-form evaluators for every bound the paper states.
+
+The theorems' finite forms are exact (not asymptotic): Theorem B.2 gives
+min{2k, (g−4)/2}; Theorem 3.4 gives min{2k, (ε(log_{Δr}(n) − c) − 4)/2} − 1
+deterministic and the log log variant randomized.  These evaluators are the
+"paper" column of every experiment table; measured/verified values sit next
+to them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils import InvalidParameterError
+
+
+def log_base(value: float, base: float) -> float:
+    """log_base(value), guarded."""
+    if value <= 0 or base <= 1:
+        raise InvalidParameterError(f"log_{base}({value}) is undefined here")
+    return math.log(value) / math.log(base)
+
+
+@dataclass(frozen=True)
+class DeterministicRandomizedBound:
+    """A pair of round lower bounds (deterministic, randomized)."""
+
+    deterministic: float
+    randomized: float
+
+    def rounded(self) -> tuple[int, int]:
+        """Max(0, floor(·)) of both — the usable round counts."""
+        return (
+            max(0, math.floor(self.deterministic)),
+            max(0, math.floor(self.randomized)),
+        )
+
+
+def theorem_b2_bound(k: int, girth: float) -> float:
+    """Theorem B.2: min{2k, (g−4)/2} rounds for a white algorithm."""
+    if math.isinf(girth):
+        return 2 * k
+    return min(2 * k, (girth - 4) / 2)
+
+
+def theorem_34_bound(
+    k: int, delta: int, rank: int, n: int, epsilon: float, c: float
+) -> DeterministicRandomizedBound:
+    """Theorem 3.4's exact finite forms (bipartite case).
+
+    Deterministic: min{2k, (ε(log_{Δr}(n) − c) − 4)/2} − 1.
+    Randomized:    same with n replaced by sqrt(log(n)/3).
+    """
+    base = delta * rank
+    det_inner = (epsilon * (log_base(n, base) - c) - 4) / 2
+    deterministic = min(2 * k, det_inner) - 1
+    rand_n = math.sqrt(math.log2(max(n, 2)) / 3)
+    rand_inner = (epsilon * (log_base(max(rand_n, 1.0 + 1e-9), base) - c) - 4) / 2
+    randomized = min(2 * k, rand_inner) - 1
+    return DeterministicRandomizedBound(deterministic, randomized)
+
+
+def corollary_35_bound(
+    k: int, delta: int, rank: int, n: int, epsilon: float, c: float
+) -> DeterministicRandomizedBound:
+    """Corollary 3.5's hypergraph forms: min{k, …} with cube-root inside."""
+    base = delta * rank
+    det_inner = (epsilon * (log_base(n, base) - c) - 4) / 2
+    deterministic = min(k, det_inner) - 1
+    rand_n = (math.log2(max(n, 2)) / 4) ** (1 / 3)
+    rand_inner = (epsilon * (log_base(max(rand_n, 1.0 + 1e-9), base) - c) - 4) / 2
+    randomized = min(k, rand_inner) - 1
+    return DeterministicRandomizedBound(deterministic, randomized)
+
+
+def matching_sequence_length(delta_prime: int, x: int, y: int) -> int:
+    """§4.2's k := ⌊(Δ′ − x)/y⌋ − 2 — the usable sequence length."""
+    if y < 1:
+        raise InvalidParameterError(f"y must be ≥ 1, got {y}")
+    return max(0, (delta_prime - x) // y - 2)
+
+
+def theorem_41_bound(
+    delta: int, delta_prime: int, x: int, y: int, n: int, epsilon: float = 0.1
+) -> DeterministicRandomizedBound:
+    """Theorem 4.1 / 1.5: Ω(min{(Δ′−x)/y, log_Δ n}) det,
+    log_Δ log n randomized — evaluated in its concrete §4.2 form
+    min{k, ε·log_Δ n} − 1 (minus 2 more to reach the matching problem
+    itself via Lemma 4.4)."""
+    k = matching_sequence_length(delta_prime, x, y)
+    deterministic = min(k, epsilon * log_base(n, delta)) - 1 - 2
+    randomized = (
+        min(k, epsilon * log_base(max(math.log2(max(n, 2)), 2), delta)) - 1 - 2
+    )
+    return DeterministicRandomizedBound(deterministic, randomized)
+
+
+def theorem_51_applicable(
+    delta: int, delta_prime: int, alpha: int, colors: int, epsilon: float = 0.25
+) -> bool:
+    """Theorem 5.1's hypothesis: (α+1)c ≤ min{Δ′, εΔ/log Δ}."""
+    cap = min(delta_prime, epsilon * delta / math.log(delta))
+    return (alpha + 1) * colors <= cap
+
+
+def theorem_51_bound(delta: int, n: int) -> DeterministicRandomizedBound:
+    """Theorem 5.1 / 1.6: Ω(log_Δ n) det, Ω(log_Δ log n) rand."""
+    return DeterministicRandomizedBound(
+        deterministic=log_base(n, delta),
+        randomized=log_base(max(math.log2(max(n, 2)), 2), delta),
+    )
+
+
+def theorem_61_bound(
+    delta: int,
+    delta_prime: int,
+    alpha: int,
+    colors: int,
+    beta: int,
+    n: int,
+    epsilon: float = 0.25,
+) -> DeterministicRandomizedBound:
+    """Theorem 6.1 / 1.7: Ω(min{β(Δ̄/((α+1)c))^{1/β}, log_Δ n}).
+
+    Δ̄ = min{Δ′, εΔ/log Δ} (Theorem 1.7's form; Theorem 6.1 additionally
+    divides by 2^{cβ}, which matters only for constants).
+    """
+    if beta < 1:
+        raise InvalidParameterError("Theorem 6.1 needs β ≥ 1")
+    delta_bar = min(delta_prime, epsilon * delta / math.log(delta))
+    quality = (alpha + 1) * colors
+    if quality <= 0 or delta_bar < quality:
+        raise InvalidParameterError(
+            f"need (α+1)c ≤ Δ̄; got (α+1)c={quality}, Δ̄={delta_bar:.2f}"
+        )
+    core = beta * (delta_bar / quality) ** (1 / beta)
+    return DeterministicRandomizedBound(
+        deterministic=min(core, log_base(n, delta)),
+        randomized=min(core, log_base(max(math.log2(max(n, 2)), 2), delta)),
+    )
+
+
+def lemma_64_sequence_length(
+    delta: int, alpha: int, colors: int, k: int, beta: int, epsilon: float = 0.25
+) -> int:
+    """Lemma 6.4's t := ⌊εβ(k/((α+1)c))^{1/β}⌋."""
+    if not 1 <= k < delta:
+        raise InvalidParameterError(f"Lemma 6.4 needs 1 ≤ k < Δ, got k={k}")
+    quality = (alpha + 1) * colors
+    return math.floor(epsilon * beta * (k / quality) ** (1 / beta))
+
+
+def aapr23_mis_parameters(n: int) -> tuple[int, int, float]:
+    """§1.1's instantiation answering [AAPR23]: Δ′ = log n / log log n,
+    Δ = Δ′ log Δ′; returns (Δ, Δ′, bound Ω(log n / log log n))."""
+    if n < 16:
+        raise InvalidParameterError("n too small for the AAPR23 instantiation")
+    log_n = math.log2(n)
+    delta_prime = max(2, round(log_n / math.log2(max(log_n, 2))))
+    delta = max(delta_prime + 1, round(delta_prime * math.log2(delta_prime + 1)))
+    bound = log_n / math.log2(max(log_n, 2))
+    return delta, delta_prime, bound

@@ -1,0 +1,144 @@
+"""Randomized lower bounds via derandomization (paper Appendix C).
+
+Lemma C.2: in the Supported LOCAL model, D_Π(n) ≤ R_Π(2^{3n²}) — i.e. a
+randomized algorithm on (lied-about) huge instances can be derandomized on
+all size-n instances.  Theorem C.3 is the hypergraph analogue with
+2^{4n³}.  Consequently a deterministic lower bound of D rounds at size n
+yields a randomized lower bound of D rounds at size 2^{3n²}, which inverts
+to R_Π(n) ≥ D_Π(sqrt(log₂(n)/3)).
+
+This module provides three things:
+
+* the instance-counting bounds, both the paper's closed forms and an exact
+  enumerator for tiny n (so the 2^{3n²} inequality is itself testable);
+* the bound transforms in both directions;
+* an executable union-bound derandomizer: given a randomized 0/T-round
+  algorithm with bounded seed space and an enumerable instance family, it
+  finds one seed that succeeds everywhere — exactly the argument in the
+  proof of Lemma C.1.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.utils import CertificateError
+
+
+def supported_instance_count_bound(n: int) -> float:
+    """The paper's bound on Supported LOCAL instances of size n: 2^{3n²}.
+
+    Composition (Appendix C): ≤ 2^{C(n,2)} graphs · n! ≤ 2^{n log n} ID
+    assignments (renormalized, since nodes see G) · ≤ 2^{n²} input-edge
+    markings.
+    """
+    return 2.0 ** (3 * n * n)
+
+
+def supported_instance_count_exact_exponent(n: int) -> float:
+    """log₂ of the paper's three factors, kept separate for inspection."""
+    graphs = math.comb(n, 2)
+    ids = math.log2(math.factorial(n)) if n else 0.0
+    inputs = n * n
+    return graphs + ids + inputs
+
+
+def hypergraph_instance_count_bound(n: int) -> float:
+    """Theorem C.3's bound for linear hypergraphs: 2^{4n³}."""
+    return 2.0 ** (4 * n**3)
+
+
+def count_labeled_graphs(n: int) -> int:
+    """Exact number of labeled graphs on n nodes (tiny n)."""
+    return 2 ** math.comb(n, 2)
+
+
+def count_supported_instances_exact(n: int) -> int:
+    """Exact count of (graph, input-subgraph) pairs with IDs {1..n}.
+
+    Enumerates labeled support graphs and, for each, counts input
+    subgraphs as 2^{|E|}; ID assignments are normalized away exactly as in
+    the paper (nodes recompute IDs from the known G).  Tiny n only.
+    """
+    if n > 6:
+        raise CertificateError(f"exact instance counting capped at n=6, got {n}")
+    from itertools import combinations
+
+    pairs = list(combinations(range(n), 2))
+    total = 0
+    for mask in range(2 ** len(pairs)):
+        edge_count = bin(mask).count("1")
+        total += 2**edge_count
+    return total
+
+
+def deterministic_bound_to_randomized(
+    deterministic_rounds: float, n: int
+) -> tuple[float, float]:
+    """D_Π(n) ≥ d ⇒ R_Π(2^{3n²}) ≥ d: returns (rounds, instance size)."""
+    return deterministic_rounds, supported_instance_count_bound(n)
+
+
+def randomized_rounds_from_deterministic(
+    deterministic_rounds_fn_value: float, n: int
+) -> float:
+    """Evaluate the inverted transform R_Π(n) ≥ D_Π(√(log₂(n)/3)).
+
+    Given the deterministic bound *value achieved at size √(log₂(n)/3)*,
+    the randomized bound at size n is the same value; the framework calls
+    this with the deterministic value it certified and reports the
+    conservative min (the certified value cannot grow under the lift).
+    Concretely we report min(d, √(log₂ n / 3)) — a randomized algorithm
+    faster than that would contradict Lemma C.2.
+    """
+    ceiling = math.sqrt(math.log2(max(n, 2)) / 3)
+    return min(deterministic_rounds_fn_value, ceiling)
+
+
+@dataclass(frozen=True)
+class DerandomizationResult:
+    """Outcome of the executable union-bound argument."""
+
+    seed: object
+    instances_checked: int
+    failure_counts: dict
+
+    @property
+    def succeeded(self) -> bool:
+        return self.seed is not None
+
+
+def derandomize_by_union_bound(
+    instances: Sequence[object],
+    seeds: Iterable[object],
+    succeeds: Callable[[object, object], bool],
+) -> DerandomizationResult:
+    """Find one seed succeeding on every instance (Lemma C.1's proof step).
+
+    ``succeeds(instance, seed)`` runs the randomized algorithm with the
+    given random bits.  If the per-instance failure probability is below
+    1/len(instances), a union bound guarantees some seed works; this
+    function finds it (or reports per-seed failure counts for diagnosis).
+    """
+    failure_counts: dict = {}
+    for seed in seeds:
+        failures = sum(0 if succeeds(inst, seed) else 1 for inst in instances)
+        failure_counts[seed] = failures
+        if failures == 0:
+            return DerandomizationResult(
+                seed=seed,
+                instances_checked=len(instances),
+                failure_counts=failure_counts,
+            )
+    return DerandomizationResult(
+        seed=None, instances_checked=len(instances), failure_counts=failure_counts
+    )
+
+
+def union_bound_guarantee(
+    instance_count: int, failure_probability: float
+) -> bool:
+    """The arithmetic core: p < 1/#instances ⇒ a good seed exists."""
+    return failure_probability * instance_count < 1.0

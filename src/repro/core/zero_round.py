@@ -1,0 +1,320 @@
+"""0-round white algorithms and the Theorem 3.2 equivalence.
+
+In the Supported LOCAL model a 0-round white algorithm's output at a white
+node v depends only on the support graph G (known to everyone), on v's
+identity, and on which of v's incident edges belong to the input graph G′.
+We represent such an algorithm as a deterministic function
+
+    (white node, frozenset of input neighbors) → {neighbor: label}
+
+labeling exactly the input edges.  Correctness (paper §2) demands: for
+*every* admissible input graph G′ (white degrees ≤ Δ′, black degrees
+≤ r′), white nodes of G′-degree exactly Δ′ satisfy the white constraint
+and black nodes of G′-degree exactly r′ the black constraint.
+
+Theorem 3.2 says such an algorithm exists iff lift_{Δ,r}(Π) has a
+bipartite solution on G.  Both constructive directions of the proof are
+implemented here:
+
+* :func:`algorithm_from_lift_solution` — a lift solution yields the
+  0-round algorithm that picks, for each Δ′-subset of input edges, a
+  choice inside the white constraint (it exists by the lift's white
+  condition);
+* :func:`lift_solution_from_algorithm` — run the algorithm on every
+  Δ′-star G′, collect each edge's observed outputs, and right-close the
+  sets w.r.t. Π's black diagram.
+
+The exhaustive checks (:func:`is_correct_zero_round`,
+:func:`exists_zero_round_algorithm`) make the equivalence independently
+testable on tiny graphs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+from itertools import combinations, product
+
+import networkx as nx
+
+from repro.core.lift import LiftedProblem
+from repro.formalism.configurations import Configuration, Label
+from repro.formalism.problems import Problem
+from repro.utils import SimulationError, SolverError
+
+OutputMap = dict[object, Label]  # neighbor → label on that edge
+
+
+@dataclass
+class ZeroRoundWhiteAlgorithm:
+    """A deterministic 0-round white algorithm on a fixed support graph."""
+
+    graph: nx.Graph
+    delta_prime: int
+    rule: Callable[[object, frozenset], OutputMap]
+
+    def run(self, node, input_neighbors: frozenset) -> OutputMap:
+        """Labels the input edges incident to ``node``."""
+        output = self.rule(node, frozenset(input_neighbors))
+        if set(output) != set(input_neighbors):
+            raise SimulationError(
+                f"algorithm at {node!r} labeled {sorted(output, key=str)} "
+                f"instead of its input edges {sorted(input_neighbors, key=str)}"
+            )
+        return output
+
+
+def white_and_black(graph: nx.Graph) -> tuple[list, list]:
+    """Split a 2-colored graph into white and black node lists."""
+    whites, blacks = [], []
+    for node, data in graph.nodes(data=True):
+        color = data.get("color")
+        if color == "white":
+            whites.append(node)
+        elif color == "black":
+            blacks.append(node)
+        else:
+            raise SolverError(f"node {node!r} lacks a color attribute")
+    return sorted(whites, key=str), sorted(blacks, key=str)
+
+
+def admissible_subgraphs(
+    graph: nx.Graph, delta_prime: int, r_prime: int, edge_limit: int = 20
+) -> Iterator[frozenset]:
+    """All input graphs G′: edge subsets with white degree ≤ Δ′ and black
+    degree ≤ r′.  Exhaustive, so capped by ``edge_limit``."""
+    edges = sorted(graph.edges, key=str)
+    if len(edges) > edge_limit:
+        raise SolverError(
+            f"exhaustive subgraph enumeration capped at {edge_limit} edges, "
+            f"got {len(edges)}"
+        )
+    whites, _ = white_and_black(graph)
+    white_set = set(whites)
+    for bits in product((False, True), repeat=len(edges)):
+        chosen = frozenset(
+            frozenset(edge) for edge, bit in zip(edges, bits) if bit
+        )
+        degrees: dict = {}
+        ok = True
+        for edge in chosen:
+            for endpoint in edge:
+                degrees[endpoint] = degrees.get(endpoint, 0) + 1
+                cap = delta_prime if endpoint in white_set else r_prime
+                if degrees[endpoint] > cap:
+                    ok = False
+                    break
+            if not ok:
+                break
+        if ok:
+            yield chosen
+
+
+def evaluate_on_subgraph(
+    algorithm: ZeroRoundWhiteAlgorithm, input_edges: frozenset
+) -> dict[frozenset, Label]:
+    """Run the white algorithm on input graph G′ = ``input_edges``."""
+    per_node_inputs: dict = {}
+    for edge in input_edges:
+        u, v = tuple(edge)
+        per_node_inputs.setdefault(u, set()).add(v)
+        per_node_inputs.setdefault(v, set()).add(u)
+    whites, _ = white_and_black(algorithm.graph)
+    labeling: dict[frozenset, Label] = {}
+    for node in whites:
+        inputs = frozenset(per_node_inputs.get(node, ()))
+        if not inputs:
+            continue
+        output = algorithm.run(node, inputs)
+        for neighbor, label in output.items():
+            labeling[frozenset((node, neighbor))] = label
+    return labeling
+
+
+def is_correct_zero_round(
+    algorithm: ZeroRoundWhiteAlgorithm,
+    problem: Problem,
+    r_prime: int | None = None,
+    edge_limit: int = 20,
+) -> bool:
+    """Exhaustively verify correctness over every admissible input graph."""
+    delta_prime = problem.white_arity
+    r_prime = problem.black_arity if r_prime is None else r_prime
+    graph = algorithm.graph
+    whites, blacks = white_and_black(graph)
+    white_set = set(whites)
+    for input_edges in admissible_subgraphs(
+        graph, delta_prime, r_prime, edge_limit=edge_limit
+    ):
+        labeling = evaluate_on_subgraph(algorithm, input_edges)
+        degrees: dict = {}
+        incident: dict = {}
+        for edge in input_edges:
+            for endpoint in edge:
+                degrees[endpoint] = degrees.get(endpoint, 0) + 1
+                incident.setdefault(endpoint, []).append(labeling[edge])
+        for node, degree in degrees.items():
+            if node in white_set:
+                if degree == delta_prime and not problem.white.allows_multiset(
+                    incident[node]
+                ):
+                    return False
+            else:
+                if degree == problem.black_arity and not problem.black.allows_multiset(
+                    incident[node]
+                ):
+                    return False
+    return True
+
+
+def algorithm_from_lift_solution(
+    graph: nx.Graph,
+    lifted: LiftedProblem,
+    lift_solution: dict[frozenset, frozenset],
+) -> ZeroRoundWhiteAlgorithm:
+    """Theorem 3.2, ⇐ direction: lift solution → 0-round white algorithm.
+
+    ``lift_solution`` maps each support edge to its label-set.  A node with
+    exactly Δ′ input edges picks a joint choice inside Π's white constraint
+    (guaranteed by the lift white condition); other degrees pick arbitrary
+    (deterministically: minimal) members of each edge's set.
+    """
+    base = lifted.base
+    delta_prime = base.white_arity
+
+    def rule(node, input_neighbors: frozenset) -> OutputMap:
+        neighbors = sorted(input_neighbors, key=str)
+        sets = [lift_solution[frozenset((node, nb))] for nb in neighbors]
+        if len(neighbors) != delta_prime:
+            return {nb: min(label_set) for nb, label_set in zip(neighbors, sets)}
+        choice = _find_white_choice(sets, base)
+        if choice is None:
+            raise SimulationError(
+                f"lift solution violates the white condition at {node!r}: "
+                f"no choice over {sets} is in the white constraint"
+            )
+        return dict(zip(neighbors, choice))
+
+    return ZeroRoundWhiteAlgorithm(
+        graph=graph, delta_prime=delta_prime, rule=rule
+    )
+
+
+def _find_white_choice(
+    sets: list[frozenset], problem: Problem
+) -> tuple[Label, ...] | None:
+    for choice in product(*(sorted(s) for s in sets)):
+        if problem.white.allows(Configuration(choice)):
+            return choice
+    return None
+
+
+def lift_solution_from_algorithm(
+    algorithm: ZeroRoundWhiteAlgorithm,
+    lifted: LiftedProblem,
+) -> dict[frozenset, frozenset]:
+    """Theorem 3.2, ⇒ direction: 0-round algorithm → lift solution.
+
+    For every white node and every Δ′-subset of its incident edges, run the
+    algorithm on the star input graph consisting of exactly those edges
+    (admissible: white degree Δ′, black degrees 1 ≤ r′) and record each
+    edge's output; finally right-close every set w.r.t. Π's black diagram.
+    """
+    graph = algorithm.graph
+    delta_prime = lifted.base.white_arity
+    raw_sets: dict[frozenset, set[Label]] = {
+        frozenset(edge): set() for edge in graph.edges
+    }
+    whites, _ = white_and_black(graph)
+    for node in whites:
+        neighbors = sorted(graph.neighbors(node), key=str)
+        for subset in combinations(neighbors, delta_prime):
+            output = algorithm.run(node, frozenset(subset))
+            for neighbor, label in output.items():
+                raw_sets[frozenset((node, neighbor))].add(label)
+    return {
+        edge: lifted.right_close(labels) if labels else frozenset()
+        for edge, labels in raw_sets.items()
+    }
+
+
+def check_lift_solution(
+    graph: nx.Graph,
+    lifted: LiftedProblem,
+    solution: dict[frozenset, frozenset],
+) -> bool:
+    """Validate a label-set assignment against the lift's predicates.
+
+    Only nodes of full degree (Δ for white, r for black) are constrained,
+    mirroring the formalism's degree-exact semantics.
+    """
+    whites, blacks = white_and_black(graph)
+    for node in whites:
+        sets = [
+            solution[frozenset((node, nb))] for nb in graph.neighbors(node)
+        ]
+        if len(sets) == lifted.delta and not lifted.white_allows(sets):
+            return False
+    for node in blacks:
+        sets = [
+            solution[frozenset((node, nb))] for nb in graph.neighbors(node)
+        ]
+        if len(sets) == lifted.rank and not lifted.black_allows(sets):
+            return False
+    return True
+
+
+def exists_zero_round_algorithm(
+    graph: nx.Graph,
+    problem: Problem,
+    edge_limit: int = 10,
+    space_limit: int = 4_000_000,
+) -> bool:
+    """Brute-force the full algorithm space (tiny graphs only).
+
+    Independent of Theorem 3.2 — used to test the theorem itself.  An
+    algorithm is a choice, for every (white node, input-neighbor subset of
+    size ≤ Δ′), of a labeling of those edges; correctness is then checked
+    against every admissible input graph.
+    """
+    delta_prime = problem.white_arity
+    r_prime = problem.black_arity
+    whites, _ = white_and_black(graph)
+    alphabet = sorted(problem.alphabet)
+
+    decision_points: list[tuple[object, tuple]] = []
+    for node in whites:
+        neighbors = sorted(graph.neighbors(node), key=str)
+        for size in range(1, min(delta_prime, len(neighbors)) + 1):
+            for subset in combinations(neighbors, size):
+                decision_points.append((node, subset))
+
+    option_lists = [
+        list(product(alphabet, repeat=len(subset)))
+        for _node, subset in decision_points
+    ]
+    total = 1
+    for options in option_lists:
+        total *= len(options)
+        if total > space_limit:
+            raise SolverError(
+                f"algorithm space exceeds {space_limit}; shrink the instance"
+            )
+
+    for assignment in product(*option_lists):
+        table = {
+            (node, frozenset(subset)): dict(zip(subset, labels))
+            for (node, subset), labels in zip(decision_points, assignment)
+        }
+
+        def rule(node, input_neighbors: frozenset, _table=table) -> OutputMap:
+            return dict(_table[(node, input_neighbors)])
+
+        candidate = ZeroRoundWhiteAlgorithm(
+            graph=graph, delta_prime=delta_prime, rule=rule
+        )
+        if is_correct_zero_round(
+            candidate, problem, r_prime=r_prime, edge_limit=edge_limit
+        ):
+            return True
+    return False

@@ -1,0 +1,93 @@
+"""Label conventions, including set-valued labels.
+
+Base labels are plain strings (``M``, ``O``, ``P1`` …).  Two constructions in
+the paper produce labels that *are sets of base labels*:
+
+* the round elimination operators R / R̄ (Appendix B), whose output alphabet
+  is a subset of 2^Σ, and
+* the lift operator (Definition 3.1), whose labels are the non-empty
+  right-closed subsets of Σ.
+
+This module fixes a canonical, parseable string encoding for such label
+sets — ``{M,O,X}`` with members sorted — so that lifted / RE'd problems are
+ordinary :class:`~repro.formalism.problems.Problem` objects and the whole
+formalism stack (diagrams, relaxations, solvers) applies to them unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.utils import ParseError
+
+Label = str
+
+
+def set_label(members: Iterable[Label]) -> Label:
+    """Canonical string encoding of a set of base labels."""
+    ordered = sorted(set(members))
+    if not ordered:
+        raise ParseError("a set label must be non-empty")
+    return "{" + ",".join(ordered) + "}"
+
+
+def is_set_label(label: Label) -> bool:
+    """Return True if ``label`` is a set-label encoding."""
+    return label.startswith("{") and label.endswith("}")
+
+
+def set_label_members(label: Label) -> frozenset[Label]:
+    """Decode a set-label back to its member set.
+
+    Splitting is brace-depth aware so that nested set labels (produced by
+    iterating round elimination, e.g. ``{{M,O},{M}}``) decode correctly.
+    """
+    if not is_set_label(label):
+        raise ParseError(f"{label!r} is not a set label")
+    body = label[1:-1]
+    if not body:
+        raise ParseError("empty set label {} is not allowed")
+    members: list[str] = []
+    current: list[str] = []
+    depth = 0
+    for char in body:
+        if char == "{":
+            depth += 1
+        elif char == "}":
+            depth -= 1
+            if depth < 0:
+                raise ParseError(f"unbalanced braces in set label {label!r}")
+        if char == "," and depth == 0:
+            members.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if depth != 0:
+        raise ParseError(f"unbalanced braces in set label {label!r}")
+    members.append("".join(current))
+    if any(not member for member in members):
+        raise ParseError(f"empty member in set label {label!r}")
+    return frozenset(members)
+
+
+def color_label(colors: Iterable[int]) -> Label:
+    """The paper's ℓ(C) labels for color sets C ⊆ {1..c} (Definitions 5.2/6.2).
+
+    Encoded as a set label over stringified colors, e.g. ``{1,3}``; sorting
+    is numeric so ``{2,10}`` renders deterministically.
+    """
+    ordered = sorted(set(colors))
+    if not ordered:
+        raise ParseError("a color label needs at least one color")
+    if any(color < 1 for color in ordered):
+        raise ParseError("colors are 1-based positive integers")
+    return "{" + ",".join(str(color) for color in ordered) + "}"
+
+
+def color_label_members(label: Label) -> frozenset[int]:
+    """Decode a color label back to its color set."""
+    members = set_label_members(label)
+    try:
+        return frozenset(int(member) for member in members)
+    except ValueError as exc:
+        raise ParseError(f"{label!r} is not a color label") from exc

@@ -1,0 +1,155 @@
+"""Parsing of configurations and constraints from text.
+
+The paper writes configurations in two notations, both supported here:
+
+* plain configurations with exponents, e.g. ``X^y M O^3`` (instantiated
+  exponents only: ``X^2 M O^3``),
+* condensed configurations with bracketed alternatives, e.g.
+  ``[MZPOX]^2 [MX] [POX]^3``.
+
+Inside brackets, single-character labels may be juxtaposed (``[MX]``);
+multi-character labels must be separated by spaces or commas
+(``[P1 U1]``, ``[{A},{A,B}]``).  Exponents apply to the preceding item.
+
+Constraints parse from multi-line strings, one (condensed) configuration per
+non-empty line; lines starting with ``#`` are comments.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.formalism.configurations import (
+    CondensedConfiguration,
+    Configuration,
+    Label,
+)
+from repro.formalism.constraints import Constraint
+from repro.utils import ParseError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<bracket>\[[^\[\]]*\])     # [ ... ]  alternatives
+  | (?P<label>[^\s\[\]^]+)        # a bare label
+  | (?P<caret>\^(?P<exp>\d+))     # ^k exponent
+    """,
+    re.VERBOSE,
+)
+
+
+def _split_alternatives(body: str) -> list[Label]:
+    """Split the inside of a bracket into labels.
+
+    With separators (spaces/commas) present, split on them; otherwise each
+    character is its own label (the paper's ``[MZPOX]`` style).  Brace
+    groups ``{...}`` are kept intact even in character mode, so set-valued
+    labels like ``{A,B}`` survive.
+    """
+    body = body.strip()
+    if not body:
+        raise ParseError("empty bracket [] in condensed configuration")
+    if re.search(r"[,\s]", _strip_braces(body)):
+        return _split_outside_braces(body)
+    # Character mode, but keep {...} groups atomic.
+    labels: list[Label] = []
+    index = 0
+    while index < len(body):
+        char = body[index]
+        if char == "{":
+            closing = body.find("}", index)
+            if closing == -1:
+                raise ParseError(f"unbalanced brace in bracket [{body}]")
+            labels.append(body[index : closing + 1])
+            index = closing + 1
+        else:
+            labels.append(char)
+            index += 1
+    return labels
+
+
+def _strip_braces(body: str) -> str:
+    """Remove brace groups so separator detection ignores commas inside sets."""
+    return re.sub(r"\{[^{}]*\}", "", body)
+
+
+def _split_outside_braces(body: str) -> list[Label]:
+    """Split on commas/whitespace that are not inside a ``{...}`` group."""
+    parts: list[Label] = []
+    current: list[str] = []
+    depth = 0
+    for char in body:
+        if char == "{":
+            depth += 1
+        elif char == "}":
+            depth -= 1
+            if depth < 0:
+                raise ParseError(f"unbalanced brace in bracket [{body}]")
+        if depth == 0 and (char == "," or char.isspace()):
+            if current:
+                parts.append("".join(current))
+                current = []
+            continue
+        current.append(char)
+    if depth != 0:
+        raise ParseError(f"unbalanced brace in bracket [{body}]")
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def parse_condensed(text: str) -> CondensedConfiguration:
+    """Parse one condensed configuration."""
+    items: list[frozenset[Label]] = []
+    position = 0
+    text = text.strip()
+    while position < len(text):
+        if text[position].isspace():
+            position += 1
+            continue
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"cannot parse configuration at: {text[position:]!r}")
+        position = match.end()
+        if match.group("bracket") is not None:
+            alternatives = frozenset(_split_alternatives(match.group("bracket")[1:-1]))
+            items.append(alternatives)
+        elif match.group("label") is not None:
+            items.append(frozenset([match.group("label")]))
+        else:  # exponent
+            if not items:
+                raise ParseError(f"exponent with no preceding item in {text!r}")
+            exponent = int(match.group("exp"))
+            if exponent < 1:
+                raise ParseError(f"exponent must be >= 1 in {text!r}")
+            items.extend([items[-1]] * (exponent - 1))
+    if not items:
+        raise ParseError("empty configuration string")
+    return CondensedConfiguration(items)
+
+
+def parse_configuration(text: str) -> Configuration:
+    """Parse one plain configuration (no brackets allowed)."""
+    if "[" in text or "]" in text:
+        raise ParseError(
+            f"brackets are only allowed in condensed configurations: {text!r}"
+        )
+    condensed_config = parse_condensed(text)
+    expansion = condensed_config.expand()
+    # A bracket-free condensed configuration expands to exactly one config.
+    (config,) = expansion
+    return config
+
+
+def _constraint_lines(text: str) -> list[str]:
+    lines = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if line and not line.startswith("#"):
+            lines.append(line)
+    return lines
+
+
+def parse_constraint(text: str) -> Constraint:
+    """Parse a constraint: one (possibly condensed) configuration per line."""
+    condensed_configs = [parse_condensed(line) for line in _constraint_lines(text)]
+    return Constraint.from_condensed(condensed_configs)

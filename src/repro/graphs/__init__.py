@@ -1,0 +1,78 @@
+"""Graph substrates: certified high-girth graphs, covers, hypergraphs."""
+
+from repro.graphs.analysis import SupportGraphReport, analyze_support_graph
+from repro.graphs.cages import (
+    available_cages,
+    cage,
+    complete_bipartite,
+    complete_graph,
+    cycle,
+)
+from repro.graphs.chromatic import (
+    chromatic_lower_bound_from_independence,
+    exact_chromatic_number,
+    greedy_coloring,
+    max_clique_lower_bound,
+)
+from repro.graphs.double_cover import (
+    bipartite_double_cover,
+    black_nodes,
+    mark_bipartition,
+    white_nodes,
+)
+from repro.graphs.generators import (
+    CertifiedGraph,
+    biregular_tree,
+    lemma21_graph,
+    padded_support_graph,
+    random_regular_with_girth,
+)
+from repro.graphs.girth import (
+    exact_girth,
+    has_girth_at_least,
+    hypergraph_girth,
+    theorem_b2_budget,
+)
+from repro.graphs.hypergraphs import (
+    Hypergraph,
+    linear_uniform_hypergraph,
+    regular_uniform_hypergraph_from_graph,
+)
+from repro.graphs.independence import (
+    exact_independence_number,
+    greedy_independent_set,
+    is_independent_set,
+)
+
+__all__ = [
+    "CertifiedGraph",
+    "Hypergraph",
+    "SupportGraphReport",
+    "analyze_support_graph",
+    "available_cages",
+    "bipartite_double_cover",
+    "biregular_tree",
+    "black_nodes",
+    "cage",
+    "chromatic_lower_bound_from_independence",
+    "complete_bipartite",
+    "complete_graph",
+    "cycle",
+    "exact_chromatic_number",
+    "exact_girth",
+    "exact_independence_number",
+    "greedy_coloring",
+    "greedy_independent_set",
+    "has_girth_at_least",
+    "hypergraph_girth",
+    "is_independent_set",
+    "lemma21_graph",
+    "linear_uniform_hypergraph",
+    "mark_bipartition",
+    "max_clique_lower_bound",
+    "padded_support_graph",
+    "random_regular_with_girth",
+    "regular_uniform_hypergraph_from_graph",
+    "theorem_b2_budget",
+    "white_nodes",
+]

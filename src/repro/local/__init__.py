@@ -1,0 +1,37 @@
+"""LOCAL / Supported LOCAL round-by-round simulator."""
+
+from repro.local.network import Network
+from repro.local.simulator import (
+    NodeAlgorithm,
+    NodeContext,
+    RunResult,
+    run_synchronous,
+    run_view_algorithm,
+)
+from repro.local.supported import (
+    SupportedInstance,
+    minimum_rounds,
+    run_supported_view_algorithm,
+)
+from repro.local.views import (
+    LocalView,
+    SupportedView,
+    collect_supported_view,
+    collect_view,
+)
+
+__all__ = [
+    "LocalView",
+    "Network",
+    "NodeAlgorithm",
+    "NodeContext",
+    "RunResult",
+    "SupportedInstance",
+    "SupportedView",
+    "collect_supported_view",
+    "collect_view",
+    "minimum_rounds",
+    "run_supported_view_algorithm",
+    "run_synchronous",
+    "run_view_algorithm",
+]

@@ -1,0 +1,151 @@
+"""Synchronous message-passing engine (the LOCAL model's round structure).
+
+Each node runs an instance of a :class:`NodeAlgorithm`; a round consists
+of (1) every node emitting messages per port, (2) delivery, (3) every node
+processing its inbox.  Messages and local computation are unbounded, as in
+the model; the engine counts rounds until every node has halted with an
+output, which is how upper-bound experiments measure round complexity.
+
+A view-based runner is also provided: a T-round algorithm given as a
+function of the radius-T view (:mod:`repro.local.views`), the formulation
+used throughout the paper's proofs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.local.network import Network
+from repro.local.views import LocalView, collect_view
+from repro.utils import SimulationError
+
+
+class NodeAlgorithm:
+    """Base class for per-node message-passing algorithms.
+
+    Subclasses override :meth:`init`, :meth:`send` and :meth:`receive`;
+    they call :meth:`halt` with their final output.  State lives on the
+    instance (one instance per node).
+    """
+
+    def __init__(self, ctx: "NodeContext") -> None:
+        self.ctx = ctx
+        self.output = None
+        self.halted = False
+
+    def init(self) -> None:
+        """Round-0 initialization (before any communication)."""
+
+    def send(self) -> dict[int, object]:
+        """Messages to emit this round, keyed by port."""
+        return {}
+
+    def receive(self, messages: dict[int, object]) -> None:
+        """Process this round's inbox, keyed by port."""
+
+    def halt(self, output) -> None:
+        """Commit the final output; the node stays silent afterwards."""
+        self.output = output
+        self.halted = True
+
+
+@dataclass(frozen=True)
+class NodeContext:
+    """Immutable per-node knowledge: the model's initial information."""
+
+    node: object
+    node_id: int
+    degree: int
+    n: int
+    max_degree: int
+    ports: tuple[int, ...]
+    random_bits: object = None
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outputs plus the measured round complexity."""
+
+    outputs: dict
+    rounds: int
+
+
+def run_synchronous(
+    network: Network,
+    factory: Callable[[NodeContext], NodeAlgorithm],
+    max_rounds: int = 10_000,
+    extra: Callable[[object], dict] | None = None,
+    rng_for: Callable[[object], object] | None = None,
+) -> RunResult:
+    """Run a message-passing algorithm until every node halts.
+
+    ``extra`` injects per-node auxiliary knowledge (e.g. full support-graph
+    information in Supported LOCAL experiments); ``rng_for`` injects a
+    per-node random source for randomized algorithms.
+    """
+    algorithms: dict[object, NodeAlgorithm] = {}
+    for node in network.graph.nodes:
+        context = NodeContext(
+            node=node,
+            node_id=network.ids[node],
+            degree=network.graph.degree(node),
+            n=network.n,
+            max_degree=network.max_degree,
+            ports=tuple(range(1, network.graph.degree(node) + 1)),
+            random_bits=rng_for(node) if rng_for else None,
+            extra=extra(node) if extra else {},
+        )
+        algorithms[node] = factory(context)
+
+    for algorithm in algorithms.values():
+        algorithm.init()
+
+    rounds = 0
+    while any(not algorithm.halted for algorithm in algorithms.values()):
+        rounds += 1
+        if rounds > max_rounds:
+            raise SimulationError(
+                f"algorithm did not halt within {max_rounds} rounds"
+            )
+        outbox: dict[object, dict[int, object]] = {}
+        for node, algorithm in algorithms.items():
+            if algorithm.halted:
+                continue
+            messages = algorithm.send() or {}
+            stray = set(messages) - set(range(1, network.graph.degree(node) + 1))
+            if stray:
+                raise SimulationError(
+                    f"node {node!r} sent on invalid ports {sorted(stray)}"
+                )
+            outbox[node] = messages
+        inbox: dict[object, dict[int, object]] = {
+            node: {} for node in algorithms
+        }
+        for node, messages in outbox.items():
+            for port, payload in messages.items():
+                neighbor = network.via_port(node, port)
+                back_port = network.port_to(neighbor, node)
+                inbox[neighbor][back_port] = payload
+        for node, algorithm in algorithms.items():
+            if not algorithm.halted:
+                algorithm.receive(inbox[node])
+
+    return RunResult(
+        outputs={node: algorithm.output for node, algorithm in algorithms.items()},
+        rounds=rounds,
+    )
+
+
+def run_view_algorithm(
+    network: Network,
+    radius: int,
+    rule: Callable[[LocalView], object],
+) -> RunResult:
+    """Run a T-round algorithm given as a function of the radius-T view."""
+    outputs = {
+        node: rule(collect_view(network, node, radius))
+        for node in network.graph.nodes
+    }
+    return RunResult(outputs=outputs, rounds=radius)

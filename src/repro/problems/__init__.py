@@ -1,0 +1,54 @@
+"""The paper's problem families (§4-§6, Appendix A) and classic problems."""
+
+from repro.problems.arbdefective import (
+    arbdefective_alphabet,
+    arbdefective_to_family_labels,
+    nonempty_color_subsets,
+    pi_arbdefective,
+    sinkless_coloring_problem,
+)
+from repro.problems.classic import (
+    mis_family_problem,
+    outdegree_dominating_set_problem,
+    proper_coloring_problem,
+    sinkless_orientation_problem,
+)
+from repro.problems.matching import (
+    maximal_matching_problem,
+    matching_sequence_problems,
+    pi_matching,
+    pi_matching_endpoint,
+    xy_relaxation_config_map,
+)
+from repro.problems.registry import available_families, build_problem
+from repro.problems.ruling_sets import (
+    pi_ruling,
+    pointer_label,
+    ruling_alphabet,
+    ruling_set_to_family_labels,
+    unpointed_label,
+)
+
+__all__ = [
+    "arbdefective_alphabet",
+    "arbdefective_to_family_labels",
+    "available_families",
+    "build_problem",
+    "maximal_matching_problem",
+    "matching_sequence_problems",
+    "mis_family_problem",
+    "nonempty_color_subsets",
+    "outdegree_dominating_set_problem",
+    "pi_arbdefective",
+    "pi_matching",
+    "pi_matching_endpoint",
+    "pi_ruling",
+    "pointer_label",
+    "proper_coloring_problem",
+    "ruling_alphabet",
+    "ruling_set_to_family_labels",
+    "sinkless_coloring_problem",
+    "sinkless_orientation_problem",
+    "unpointed_label",
+    "xy_relaxation_config_map",
+]

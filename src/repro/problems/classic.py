@@ -1,0 +1,94 @@
+"""Classic locally checkable problems in the black-white formalism.
+
+These encodings are the standard ones from the round elimination
+literature; the paper references them as special cases and baselines
+(sinkless orientation [BFH+16, BKK+23], proper coloring, MIS §6.1).
+"""
+
+from __future__ import annotations
+
+from repro.formalism.configurations import CondensedConfiguration
+from repro.formalism.constraints import Constraint
+from repro.formalism.problems import Problem
+from repro.problems.ruling_sets import pi_ruling
+from repro.utils import InvalidParameterError
+
+
+def sinkless_orientation_problem(delta: int) -> Problem:
+    """Sinkless orientation on Δ-regular graphs.
+
+    Half-edge labels O (edge points away from the node) and I (towards).
+    White (node, arity Δ): at least one outgoing edge — O [IO]^{Δ-1}.
+    Black (edge, arity 2): consistent orientation — exactly one O, i.e.
+    the configuration {O, I}.
+    """
+    if delta < 2:
+        raise InvalidParameterError(f"Δ must be ≥ 2, got {delta}")
+    white = Constraint.from_condensed(
+        [
+            CondensedConfiguration(
+                [frozenset("O")] + [frozenset("IO")] * (delta - 1)
+            )
+        ]
+    )
+    black = Constraint.from_condensed(
+        [CondensedConfiguration([frozenset("O"), frozenset("I")])]
+    )
+    return Problem(
+        alphabet=frozenset("IO"),
+        white=white,
+        black=black,
+        name=f"SO_{delta}",
+    )
+
+
+def proper_coloring_problem(delta: int, colors: int) -> Problem:
+    """Proper c-coloring on Δ-regular graphs.
+
+    A node outputs its color on every incident half-edge (white: i^Δ);
+    an edge requires distinct colors (black: {i,j}, i ≠ j).
+    """
+    if delta < 2:
+        raise InvalidParameterError(f"Δ must be ≥ 2, got {delta}")
+    if colors < 1:
+        raise InvalidParameterError(f"c must be ≥ 1, got {colors}")
+    names = [f"c{i}" for i in range(1, colors + 1)]
+    white = Constraint.from_condensed(
+        [
+            CondensedConfiguration([frozenset([name])] * delta)
+            for name in names
+        ]
+    )
+    black_configs = []
+    for i, first in enumerate(names):
+        for second in names[i + 1 :]:
+            black_configs.append(
+                CondensedConfiguration([frozenset([first]), frozenset([second])])
+            )
+    black = Constraint.from_condensed(black_configs)
+    return Problem(
+        alphabet=frozenset(names),
+        white=white,
+        black=black,
+        name=f"COL_{delta}({colors})",
+    )
+
+
+def mis_family_problem(delta: int) -> Problem:
+    """The Π-family problem corresponding to MIS.
+
+    §6.1: MIS is the α-arbdefective c-colored β-ruling set with α = 0,
+    c = 1, β = 1; after the Lemma 6.3 conversion the relevant family
+    member is Π_Δ((α+1)c, β) = Π_Δ(1, 1).
+    """
+    return pi_ruling(delta, 1, 1)
+
+
+def outdegree_dominating_set_problem(delta: int, alpha: int) -> Problem:
+    """α-outdegree dominating sets (§6.1: β = 1, c = 1).
+
+    The corresponding family member is Π_Δ((α+1)·1, 1).
+    """
+    if alpha < 0:
+        raise InvalidParameterError(f"α must be ≥ 0, got {alpha}")
+    return pi_ruling(delta, alpha + 1, 1)

@@ -1,0 +1,53 @@
+"""Name-based registry for the paper's problem families.
+
+Lets examples and benchmarks construct problems from specification strings
+(``"matching:Δ=4,x=0,y=1"``) and keeps a single source of truth for which
+families the library implements.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.formalism.problems import Problem
+from repro.problems.arbdefective import pi_arbdefective, sinkless_coloring_problem
+from repro.problems.classic import (
+    mis_family_problem,
+    outdegree_dominating_set_problem,
+    proper_coloring_problem,
+    sinkless_orientation_problem,
+)
+from repro.problems.matching import maximal_matching_problem, pi_matching
+from repro.problems.ruling_sets import pi_ruling
+from repro.utils import InvalidParameterError
+
+FAMILIES: dict[str, Callable[..., Problem]] = {
+    "matching": pi_matching,
+    "maximal-matching": maximal_matching_problem,
+    "arbdefective": pi_arbdefective,
+    "ruling-set": pi_ruling,
+    "sinkless-orientation": sinkless_orientation_problem,
+    "sinkless-coloring": sinkless_coloring_problem,
+    "coloring": proper_coloring_problem,
+    "mis": mis_family_problem,
+    "outdegree-dominating": outdegree_dominating_set_problem,
+}
+
+
+def available_families() -> list[str]:
+    """Sorted names of constructible families."""
+    return sorted(FAMILIES)
+
+
+def build_problem(family: str, **parameters: int) -> Problem:
+    """Construct a problem by family name and keyword parameters.
+
+    Example: ``build_problem("matching", delta=4, x=0, y=1)``.
+    """
+    try:
+        constructor = FAMILIES[family]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown family {family!r}; available: {available_families()}"
+        ) from None
+    return constructor(**parameters)

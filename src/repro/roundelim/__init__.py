@@ -1,0 +1,39 @@
+"""Round elimination (paper Appendix B): R, R̄, RE, fixed points, sequences."""
+
+from repro.roundelim.fixed_points import (
+    FixedPointReport,
+    analyze_fixed_point,
+    is_fixed_point,
+    is_fixed_point_up_to_relaxation,
+)
+from repro.roundelim.operators import (
+    apply_R,
+    apply_R_bar,
+    compress_labels,
+    decode_label_sets,
+    maximal_set_configurations,
+    round_elimination,
+)
+from repro.roundelim.sequences import (
+    LowerBoundSequence,
+    SequenceStepWitness,
+    constant_sequence,
+    sequence_from_family,
+)
+
+__all__ = [
+    "FixedPointReport",
+    "LowerBoundSequence",
+    "SequenceStepWitness",
+    "analyze_fixed_point",
+    "apply_R",
+    "apply_R_bar",
+    "compress_labels",
+    "constant_sequence",
+    "decode_label_sets",
+    "is_fixed_point",
+    "is_fixed_point_up_to_relaxation",
+    "maximal_set_configurations",
+    "round_elimination",
+    "sequence_from_family",
+]

@@ -1,0 +1,72 @@
+"""Fixed points under round elimination (paper Lemma 5.4).
+
+A problem Π is a *fixed point* when RE(Π) is Π again (up to renaming of the
+mechanically-generated set labels).  Fixed points yield lower bound
+sequences of infinite length (Corollary 5.5): the constant sequence
+Π, Π, Π, … qualifies because Π is a relaxation of RE(Π).
+
+Two notions are implemented, ordered by strength:
+
+* :func:`is_fixed_point` — RE(Π) is *isomorphic* to Π (exact);
+* :func:`is_fixed_point_up_to_relaxation` — Π is a relaxation of RE(Π),
+  which is all that lower bound sequences need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.formalism.configurations import Label
+from repro.formalism.problems import Problem
+from repro.formalism.relaxations import find_label_relaxation
+from repro.roundelim.operators import DEFAULT_BUDGET, compress_labels, round_elimination
+
+
+@dataclass(frozen=True)
+class FixedPointReport:
+    """Outcome of a fixed point check, with witnesses."""
+
+    problem: Problem
+    eliminated: Problem
+    isomorphism: dict[Label, Label] | None
+    relaxation_map: dict[Label, Label] | None
+
+    @property
+    def is_exact_fixed_point(self) -> bool:
+        """RE(Π) ≅ Π."""
+        return self.isomorphism is not None
+
+    @property
+    def is_relaxation_fixed_point(self) -> bool:
+        """Π is a relaxation of RE(Π) — enough for infinite sequences."""
+        return self.relaxation_map is not None
+
+
+def analyze_fixed_point(
+    problem: Problem, budget: int = DEFAULT_BUDGET
+) -> FixedPointReport:
+    """Run RE once and report how the output relates to the input."""
+    eliminated, _ = compress_labels(round_elimination(problem, budget=budget))
+    isomorphism = eliminated.find_isomorphism(problem)
+    if isomorphism is not None:
+        relaxation_map: dict[Label, Label] | None = dict(isomorphism)
+    else:
+        relaxation_map = find_label_relaxation(eliminated, problem)
+    return FixedPointReport(
+        problem=problem,
+        eliminated=eliminated,
+        isomorphism=isomorphism,
+        relaxation_map=relaxation_map,
+    )
+
+
+def is_fixed_point(problem: Problem, budget: int = DEFAULT_BUDGET) -> bool:
+    """True if RE(Π) is isomorphic to Π."""
+    return analyze_fixed_point(problem, budget=budget).is_exact_fixed_point
+
+
+def is_fixed_point_up_to_relaxation(
+    problem: Problem, budget: int = DEFAULT_BUDGET
+) -> bool:
+    """True if Π is a relaxation of RE(Π) (Corollary 5.5's requirement)."""
+    return analyze_fixed_point(problem, budget=budget).is_relaxation_fixed_point

@@ -1,0 +1,220 @@
+"""The round elimination operators R, R̄ and RE (paper Appendix B).
+
+Given Π = (Σ, C_W, C_B), the problem R(Π) = (Σ′, C′_W, C′_B) is defined by:
+
+* C′_B — the *maximal* configurations {L1,…,L_dB} of non-empty label sets
+  such that every choice (ℓ1,…,ℓ_dB) ∈ L1×…×L_dB lies in C_B.  A
+  configuration is removed as non-maximal when another one dominates it
+  component-wise (up to permutation) with at least one strict inclusion.
+* Σ′ — the label sets occurring in C′_B.
+* C′_W — all size-d_W multisets over Σ′ admitting *some* choice in C_W.
+
+R̄ is R with the two constraints' roles swapped, and RE(Π) := R̄(R(Π)).
+
+The maximal-configuration computation is exact: validity of set
+configurations is downward closed (component-wise), so every maximal
+configuration is reachable from a singleton seed {ℓ1}…{ℓ_dB} (one per
+allowed base configuration) by single-label additions, and a configuration
+is maximal iff no single addition keeps it valid.  The search memoizes
+canonical forms; a configurable budget guards against blow-up.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterator
+from itertools import product
+
+from repro.formalism.configurations import Configuration, Label
+from repro.formalism.constraints import Constraint
+from repro.formalism.labels import set_label, set_label_members
+from repro.formalism.problems import Problem
+from repro.utils import SolverLimitError
+from repro.utils.multiset import all_multisets
+
+SetConfig = tuple[frozenset[Label], ...]
+
+DEFAULT_BUDGET = 2_000_000
+
+
+def _canonical_set_config(slots: Iterator[frozenset[Label]] | SetConfig) -> SetConfig:
+    """Canonical form of a multiset of label sets: sorted tuple."""
+    return tuple(sorted(slots, key=lambda slot: (len(slot), sorted(slot))))
+
+
+def _addition_valid(
+    slots: SetConfig, index: int, new_label: Label, allowed: frozenset[tuple[Label, ...]]
+) -> bool:
+    """Is the config still valid after adding ``new_label`` to slot ``index``?
+
+    Only choices that pick ``new_label`` from slot ``index`` are new, so
+    only those are checked.
+    """
+    others = [slots[j] for j in range(len(slots)) if j != index]
+    for choice in product(*others):
+        candidate = tuple(sorted(choice + (new_label,)))
+        if candidate not in allowed:
+            return False
+    return True
+
+
+def maximal_set_configurations(
+    constraint: Constraint,
+    alphabet: frozenset[Label],
+    budget: int = DEFAULT_BUDGET,
+) -> frozenset[SetConfig]:
+    """All maximal set configurations of a constraint (the C′_B of R).
+
+    ``budget`` bounds the number of visited (valid) configurations; the
+    search raises :class:`SolverLimitError` rather than silently truncate,
+    because downstream lower-bound certificates rely on exactness.
+    """
+    arity = constraint.size
+    allowed: frozenset[tuple[Label, ...]] = frozenset(
+        config.labels for config in constraint.configurations
+    )
+    labels = sorted(alphabet)
+
+    seeds = {
+        _canonical_set_config(tuple(frozenset([label]) for label in config.labels))
+        for config in constraint.configurations
+    }
+    visited: set[SetConfig] = set()
+    maximal: set[SetConfig] = set()
+    stack = list(seeds)
+    steps = 0
+    while stack:
+        config = stack.pop()
+        if config in visited:
+            continue
+        visited.add(config)
+        steps += 1
+        if steps > budget:
+            raise SolverLimitError(
+                f"maximal-configuration search exceeded budget {budget}"
+            )
+        extendable = False
+        for index in range(arity):
+            slot = config[index]
+            for label in labels:
+                if label in slot:
+                    continue
+                if _addition_valid(config, index, label, allowed):
+                    extendable = True
+                    grown = _canonical_set_config(
+                        config[:index] + (slot | {label},) + config[index + 1 :]
+                    )
+                    if grown not in visited:
+                        stack.append(grown)
+        if not extendable:
+            maximal.add(config)
+    return frozenset(maximal)
+
+
+def _existential_white_constraint(
+    new_alphabet: list[frozenset[Label]],
+    base_constraint: Constraint,
+    arity: int,
+) -> list[tuple[frozenset[Label], ...]]:
+    """All size-``arity`` multisets of sets from ``new_alphabet`` with some
+    choice in ``base_constraint`` (the C′_W of R)."""
+    encoded = {set_label(slot): slot for slot in new_alphabet}
+    result: list[tuple[frozenset[Label], ...]] = []
+    for names in all_multisets(encoded, arity):
+        slots = tuple(encoded[name] for name in names)
+        if _exists_choice(slots, base_constraint):
+            result.append(slots)
+    return result
+
+
+def _exists_choice(slots: tuple[frozenset[Label], ...], constraint: Constraint) -> bool:
+    """DFS with partial-extension pruning: ∃ choice over slots in constraint?"""
+
+    ordered = sorted(slots, key=len)
+
+    def recurse(index: int, partial: Counter[Label]) -> bool:
+        if index == len(ordered):
+            return constraint.allows_multiset(partial.elements())
+        for label in sorted(ordered[index]):
+            partial[label] += 1
+            if constraint.allows_partial(partial, index + 1) and recurse(
+                index + 1, partial
+            ):
+                partial[label] -= 1
+                return True
+            partial[label] -= 1
+            if partial[label] == 0:
+                del partial[label]
+        return False
+
+    return recurse(0, Counter())
+
+
+def apply_R(problem: Problem, budget: int = DEFAULT_BUDGET) -> Problem:
+    """The operator R of Appendix B."""
+    maximal = maximal_set_configurations(problem.black, problem.alphabet, budget)
+    new_alphabet_sets = sorted(
+        {slot for config in maximal for slot in config},
+        key=lambda slot: (len(slot), sorted(slot)),
+    )
+    black_configs = [
+        Configuration(set_label(slot) for slot in config) for config in maximal
+    ]
+    white_slot_tuples = _existential_white_constraint(
+        new_alphabet_sets, problem.white, problem.white_arity
+    )
+    white_configs = [
+        Configuration(set_label(slot) for slot in slots)
+        for slots in white_slot_tuples
+    ]
+    return Problem.from_constraints(
+        white=Constraint(white_configs),
+        black=Constraint(black_configs),
+        name=f"R({problem.name})",
+    )
+
+
+def apply_R_bar(problem: Problem, budget: int = DEFAULT_BUDGET) -> Problem:
+    """The operator R̄ of Appendix B (R with constraint roles reversed)."""
+    swapped = apply_R(problem.swap_sides(), budget=budget)
+    result = swapped.swap_sides()
+    return Problem(
+        alphabet=result.alphabet,
+        white=result.white,
+        black=result.black,
+        name=f"R̄({problem.name})",
+    )
+
+
+def round_elimination(problem: Problem, budget: int = DEFAULT_BUDGET) -> Problem:
+    """RE(Π) := R̄(R(Π)) — one full round elimination step.
+
+    Arities are preserved: if Π has white configurations of size Δ and black
+    configurations of size r, so does RE(Π) (paper §2, "Round elimination").
+    """
+    result = apply_R_bar(apply_R(problem, budget=budget), budget=budget)
+    return Problem(
+        alphabet=result.alphabet,
+        white=result.white,
+        black=result.black,
+        name=f"RE({problem.name})",
+    )
+
+
+def compress_labels(
+    problem: Problem, prefix: str = "a"
+) -> tuple[Problem, dict[Label, Label]]:
+    """Rename (possibly deeply nested) set labels to short fresh names.
+
+    Returns the renamed problem and the mapping old → new.  Iterated RE
+    nests set labels exponentially deep; compressing between steps keeps
+    problems readable and comparisons fast.
+    """
+    ordered = sorted(problem.alphabet)
+    mapping = {label: f"{prefix}{index}" for index, label in enumerate(ordered)}
+    return problem.rename(mapping, name=problem.name), mapping
+
+
+def decode_label_sets(problem: Problem) -> dict[Label, frozenset[Label]]:
+    """Decode every set label of an R/R̄ output back to its member set."""
+    return {label: set_label_members(label) for label in problem.alphabet}

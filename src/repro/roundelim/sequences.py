@@ -1,0 +1,117 @@
+"""Lower bound sequences (paper §2).
+
+A sequence Π_0, …, Π_k is a *lower bound sequence* if each Π_i (i ≥ 1) is a
+relaxation of RE(Π_{i-1}).  The framework of Theorems 3.4 / B.2 consumes
+such sequences: non-0-round-solvability of Π_k in the Supported LOCAL model
+yields an Ω(min{2k, girth}) lower bound for Π_0.
+
+This module represents sequences, verifies them mechanically (running RE
+and searching for relaxation witnesses), and builds the two kinds the paper
+uses: constant sequences from fixed points (Corollary 5.5) and parametric
+family sequences (Corollary 4.6, via family-specific step lemmas).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.formalism.configurations import Label
+from repro.formalism.problems import Problem
+from repro.formalism.relaxations import (
+    find_config_map_relaxation,
+    find_label_relaxation,
+)
+from repro.roundelim.operators import DEFAULT_BUDGET, compress_labels, round_elimination
+
+
+@dataclass(frozen=True)
+class SequenceStepWitness:
+    """Witness that Π_{i} is a relaxation of RE(Π_{i-1}).
+
+    Either a label map or (when label maps are insufficient — e.g. the
+    Lemma 4.5 matching steps, which need the general per-configuration
+    notion) an ordered-configuration map.
+    """
+
+    index: int
+    eliminated: Problem
+    relaxation_map: dict[Label, Label] | None
+    config_map: dict[tuple[Label, ...], tuple[Label, ...]] | None = None
+
+
+@dataclass(frozen=True)
+class LowerBoundSequence:
+    """A candidate lower bound sequence Π_0, …, Π_k."""
+
+    problems: tuple[Problem, ...]
+
+    def __post_init__(self) -> None:
+        if not self.problems:
+            raise ValueError("a lower bound sequence needs at least one problem")
+
+    @property
+    def length(self) -> int:
+        """k: the number of RE steps the sequence certifies."""
+        return len(self.problems) - 1
+
+    @property
+    def first(self) -> Problem:
+        return self.problems[0]
+
+    @property
+    def last(self) -> Problem:
+        return self.problems[-1]
+
+    def verify(self, budget: int = DEFAULT_BUDGET) -> list[SequenceStepWitness]:
+        """Mechanically verify every step, returning the witnesses.
+
+        Tries the cheap label-map search first and falls back to the
+        general ordered-configuration-map search (the paper's §2 notion;
+        needed e.g. for the Lemma 4.5 matching steps).  Raises ValueError
+        on the first unverifiable step.
+        """
+        witnesses: list[SequenceStepWitness] = []
+        for index in range(1, len(self.problems)):
+            eliminated, _ = compress_labels(
+                round_elimination(self.problems[index - 1], budget=budget)
+            )
+            label_map = find_label_relaxation(eliminated, self.problems[index])
+            config_map = None
+            if label_map is None:
+                config_map = find_config_map_relaxation(
+                    eliminated, self.problems[index]
+                )
+                if config_map is None:
+                    raise ValueError(
+                        f"step {index}: {self.problems[index].name} is not a "
+                        f"relaxation of RE({self.problems[index - 1].name}) "
+                        f"(neither label-map nor config-map witness found)"
+                    )
+            witnesses.append(
+                SequenceStepWitness(
+                    index=index,
+                    eliminated=eliminated,
+                    relaxation_map=label_map,
+                    config_map=config_map,
+                )
+            )
+        return witnesses
+
+
+def constant_sequence(problem: Problem, length: int) -> LowerBoundSequence:
+    """The constant sequence of a fixed point (Corollary 5.5).
+
+    Valid whenever Π is a relaxation of RE(Π); ``verify`` checks exactly
+    that for each (identical) step.
+    """
+    return LowerBoundSequence(problems=tuple([problem] * (length + 1)))
+
+
+def sequence_from_family(
+    family: Callable[[int], Problem], indices: Sequence[int]
+) -> LowerBoundSequence:
+    """Build a sequence from a parametric family, e.g. i ↦ Π_Δ(x + i·y, y)."""
+    return LowerBoundSequence(
+        problems=tuple(family(index) for index in indices)
+    )

@@ -1,0 +1,32 @@
+"""Exact solution-existence solvers for problems on concrete graphs."""
+
+from repro.solvers.csp import (
+    DEFAULT_NODE_BUDGET,
+    EdgeLabelingCSP,
+    check_edge_labeling,
+)
+from repro.solvers.enumeration import brute_force_solutions, brute_force_solvable
+from repro.solvers.existence import (
+    bipartite_solvable,
+    lift_solvable_bipartite,
+    lift_solvable_non_bipartite,
+    non_bipartite_solvable,
+    solve_bipartite,
+    solve_non_bipartite,
+    solve_s_solution,
+)
+
+__all__ = [
+    "DEFAULT_NODE_BUDGET",
+    "EdgeLabelingCSP",
+    "bipartite_solvable",
+    "brute_force_solutions",
+    "brute_force_solvable",
+    "check_edge_labeling",
+    "lift_solvable_bipartite",
+    "lift_solvable_non_bipartite",
+    "non_bipartite_solvable",
+    "solve_bipartite",
+    "solve_non_bipartite",
+    "solve_s_solution",
+]

@@ -1,0 +1,221 @@
+"""Exact edge-labeling CSP on 2-colored graphs.
+
+Deciding whether lift_{Δ,r}(Π′) has a bipartite solution on a concrete
+support graph G is the graph-theoretic question that the paper's framework
+(Theorem 3.4) reduces lower bounds to.  This solver answers it *exactly*:
+a ``None`` result is a certificate of non-existence (the search is
+complete), and exceeding the budget raises instead of returning, so
+unsolvability claims never rest on truncated searches.
+
+The formalism's semantics are honored: a white (black) node is constrained
+only when its degree equals the white (black) arity (paper §2: nodes of
+other degrees "do not need to satisfy any constraint"); S-solutions
+(Definition 5.6) are expressed through the ``white_active`` /
+``black_active`` predicates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable, Iterator
+
+import networkx as nx
+
+from repro.formalism.configurations import Label
+from repro.formalism.problems import Problem
+from repro.utils import SolverError, SolverLimitError
+
+Edge = tuple
+NodePredicate = Callable[[object], bool]
+
+DEFAULT_NODE_BUDGET = 5_000_000
+
+
+class EdgeLabelingCSP:
+    """Backtracking with per-node partial-extension propagation."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        problem: Problem,
+        white_active: NodePredicate | None = None,
+        black_active: NodePredicate | None = None,
+        budget: int = DEFAULT_NODE_BUDGET,
+    ) -> None:
+        self.graph = graph
+        self.problem = problem
+        self.budget = budget
+        self._colors = self._read_colors()
+        self._white_active = white_active or self._default_active("white")
+        self._black_active = black_active or self._default_active("black")
+        self._edges = self._edge_order()
+        self._alphabet = sorted(problem.alphabet)
+
+    def _read_colors(self) -> dict:
+        colors = {}
+        for node, data in self.graph.nodes(data=True):
+            color = data.get("color")
+            if color not in ("white", "black"):
+                raise SolverError(
+                    f"node {node!r} lacks a white/black 'color' attribute"
+                )
+            colors[node] = color
+        for u, v in self.graph.edges:
+            if colors[u] == colors[v]:
+                raise SolverError(
+                    f"edge {(u, v)} joins two {colors[u]} nodes; the graph "
+                    f"must be properly 2-colored"
+                )
+        return colors
+
+    def _default_active(self, color: str) -> NodePredicate:
+        arity = (
+            self.problem.white_arity if color == "white" else self.problem.black_arity
+        )
+
+        def active(node) -> bool:
+            return (
+                self._colors[node] == color and self.graph.degree(node) == arity
+            )
+
+        return active
+
+    def _arity(self, node) -> int:
+        if self._colors[node] == "white":
+            return self.problem.white_arity
+        return self.problem.black_arity
+
+    def _constraint(self, node):
+        if self._colors[node] == "white":
+            return self.problem.white
+        return self.problem.black
+
+    def _is_active(self, node) -> bool:
+        if self._colors[node] == "white":
+            return self._white_active(node)
+        return self._black_active(node)
+
+    def _edge_order(self) -> list[Edge]:
+        """BFS edge order: keeps consecutive edges sharing nodes, which
+        makes the partial-extension pruning bite early."""
+        ordered: list[Edge] = []
+        seen_edges: set[frozenset] = set()
+        for component in nx.connected_components(self.graph):
+            start = min(component, key=str)
+            for u, v in nx.bfs_edges(self.graph, start):
+                key = frozenset((u, v))
+                if key not in seen_edges:
+                    seen_edges.add(key)
+                    ordered.append((u, v))
+            # Non-tree edges of the component.
+            for u, v in self.graph.subgraph(component).edges:
+                key = frozenset((u, v))
+                if key not in seen_edges:
+                    seen_edges.add(key)
+                    ordered.append((u, v))
+        return ordered
+
+    def iter_solutions(self) -> Iterator[dict[frozenset, Label]]:
+        """Yield every solution (for tiny instances / cross-checks)."""
+        yield from self._search(find_all=True)
+
+    def solve(self) -> dict[frozenset, Label] | None:
+        """Return one solution, or None — a completeness certificate."""
+        for solution in self._search(find_all=False):
+            return solution
+        return None
+
+    def count_solutions(self) -> int:
+        """Number of solutions (tiny instances only)."""
+        return sum(1 for _ in self._search(find_all=True))
+
+    def _search(self, find_all: bool) -> Iterator[dict[frozenset, Label]]:
+        partials: dict = {
+            node: Counter() for node in self.graph.nodes
+        }
+        assigned_counts: dict = {node: 0 for node in self.graph.nodes}
+        assignment: dict[frozenset, Label] = {}
+        steps = 0
+
+        def node_ok_partial(node) -> bool:
+            if not self._is_active(node):
+                return True
+            return self._constraint(node).allows_partial(
+                partials[node], assigned_counts[node]
+            )
+
+        def node_ok_final(node) -> bool:
+            if not self._is_active(node):
+                return True
+            if assigned_counts[node] != self.graph.degree(node):
+                return True  # not yet fully labeled around this node
+            return self._constraint(node).allows_multiset(partials[node].elements())
+
+        def candidates(u, v) -> list[Label]:
+            options: set[Label] | None = None
+            for node in (u, v):
+                if not self._is_active(node):
+                    continue
+                allowed = self._constraint(node).completions(partials[node])
+                options = allowed if options is None else options & allowed
+            if options is None:
+                return list(self._alphabet)
+            return sorted(options)
+
+        def place(index: int) -> Iterator[dict[frozenset, Label]]:
+            nonlocal steps
+            if index == len(self._edges):
+                yield dict(assignment)
+                return
+            u, v = self._edges[index]
+            for label in candidates(u, v):
+                steps += 1
+                if steps > self.budget:
+                    raise SolverLimitError(
+                        f"CSP search exceeded budget {self.budget}"
+                    )
+                assignment[frozenset((u, v))] = label
+                for node in (u, v):
+                    partials[node][label] += 1
+                    assigned_counts[node] += 1
+                if (
+                    node_ok_partial(u)
+                    and node_ok_partial(v)
+                    and node_ok_final(u)
+                    and node_ok_final(v)
+                ):
+                    yield from place(index + 1)
+                for node in (u, v):
+                    partials[node][label] -= 1
+                    if partials[node][label] == 0:
+                        del partials[node][label]
+                    assigned_counts[node] -= 1
+                del assignment[frozenset((u, v))]
+
+        yield from place(0)
+
+
+def check_edge_labeling(
+    graph: nx.Graph,
+    problem: Problem,
+    labeling: dict[frozenset, Label],
+    white_active: NodePredicate | None = None,
+    black_active: NodePredicate | None = None,
+) -> bool:
+    """Validate a full edge labeling against the formalism semantics."""
+    solver = EdgeLabelingCSP(
+        graph, problem, white_active=white_active, black_active=black_active
+    )
+    for u, v in graph.edges:
+        if frozenset((u, v)) not in labeling:
+            return False
+    for node in graph.nodes:
+        if not solver._is_active(node):
+            continue
+        labels = [
+            labeling[frozenset((node, neighbor))]
+            for neighbor in graph.neighbors(node)
+        ]
+        if not solver._constraint(node).allows_multiset(labels):
+            return False
+    return True

@@ -1,0 +1,127 @@
+"""Solution-existence entry points.
+
+These wrap the CSP solver with the paper's vocabulary:
+
+* *bipartite* solvability of Π on a 2-colored graph (paper §2),
+* *non-bipartite* solvability on a (hyper)graph — bipartite solvability on
+  the incidence graph,
+* *S-solutions* (Definition 5.6) — constraints active only inside S,
+* lift solvability on a support graph — the question Theorems 3.2/3.4
+  reduce lower bounds to.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.lift import LiftedProblem, lift
+from repro.formalism.configurations import Label
+from repro.formalism.problems import Problem
+from repro.graphs.hypergraphs import Hypergraph
+from repro.solvers.csp import DEFAULT_NODE_BUDGET, EdgeLabelingCSP
+
+
+def solve_bipartite(
+    graph: nx.Graph, problem: Problem, budget: int = DEFAULT_NODE_BUDGET
+) -> dict[frozenset, Label] | None:
+    """A bipartite solution of Π on a 2-colored graph, or None (complete)."""
+    return EdgeLabelingCSP(graph, problem, budget=budget).solve()
+
+
+def bipartite_solvable(
+    graph: nx.Graph, problem: Problem, budget: int = DEFAULT_NODE_BUDGET
+) -> bool:
+    """Does Π admit a bipartite solution on the 2-colored graph?"""
+    return solve_bipartite(graph, problem, budget=budget) is not None
+
+
+def solve_non_bipartite(
+    hypergraph: Hypergraph | nx.Graph,
+    problem: Problem,
+    budget: int = DEFAULT_NODE_BUDGET,
+) -> dict[frozenset, Label] | None:
+    """A non-bipartite solution: solve Π on the incidence graph (paper §2).
+
+    Accepts either a :class:`Hypergraph` or an ordinary graph (treated as a
+    rank-2 hypergraph).  Keys of the result are incidence-graph edges, i.e.
+    (node, ("edge", i)) pairs.
+    """
+    if isinstance(hypergraph, nx.Graph):
+        hypergraph = Hypergraph.from_graph(hypergraph)
+    incidence = hypergraph.incidence_graph()
+    return solve_bipartite(incidence, problem, budget=budget)
+
+
+def non_bipartite_solvable(
+    hypergraph: Hypergraph | nx.Graph,
+    problem: Problem,
+    budget: int = DEFAULT_NODE_BUDGET,
+) -> bool:
+    """Does Π admit a non-bipartite solution on the hypergraph?"""
+    return solve_non_bipartite(hypergraph, problem, budget=budget) is not None
+
+
+def solve_s_solution(
+    graph: nx.Graph,
+    problem: Problem,
+    s_nodes: set,
+    budget: int = DEFAULT_NODE_BUDGET,
+) -> dict[frozenset, Label] | None:
+    """An S-solution of Π on a plain graph (Definition 5.6).
+
+    Node constraints apply to nodes of S; edge constraints to edges with
+    both endpoints in S.  Executed on the incidence graph, where graph
+    nodes are white and graph edges are black.
+    """
+    hypergraph = Hypergraph.from_graph(graph)
+    incidence = hypergraph.incidence_graph()
+    edge_members = {("edge", i): edge for i, edge in enumerate(hypergraph.edges)}
+
+    def white_active(node) -> bool:
+        return node in s_nodes and incidence.degree(node) == problem.white_arity
+
+    def black_active(node) -> bool:
+        return edge_members[node] <= s_nodes
+
+    return EdgeLabelingCSP(
+        incidence,
+        problem,
+        white_active=white_active,
+        black_active=black_active,
+        budget=budget,
+    ).solve()
+
+
+def lift_solvable_bipartite(
+    graph: nx.Graph,
+    base_problem: Problem,
+    delta: int,
+    rank: int,
+    budget: int = DEFAULT_NODE_BUDGET,
+) -> tuple[bool, dict[frozenset, Label] | None, LiftedProblem]:
+    """Decide whether lift_{Δ,r}(Π) has a bipartite solution on the graph.
+
+    Returns (solvable, solution-or-None, the lifted problem).  This is the
+    exact decision Theorem 3.4's hypothesis asks for.
+    """
+    lifted = lift(base_problem, delta, rank)
+    explicit = lifted.to_problem()
+    solution = solve_bipartite(graph, explicit, budget=budget)
+    return solution is not None, solution, lifted
+
+
+def lift_solvable_non_bipartite(
+    hypergraph: Hypergraph | nx.Graph,
+    base_problem: Problem,
+    delta: int,
+    rank: int,
+    budget: int = DEFAULT_NODE_BUDGET,
+) -> tuple[bool, dict[frozenset, Label] | None, LiftedProblem]:
+    """Decide lift solvability on a hypergraph (Corollary 3.3 / 3.5)."""
+    if isinstance(hypergraph, nx.Graph):
+        hypergraph = Hypergraph.from_graph(hypergraph)
+    lifted = lift(base_problem, delta, rank)
+    explicit = lifted.to_problem()
+    incidence = hypergraph.incidence_graph()
+    solution = solve_bipartite(incidence, explicit, budget=budget)
+    return solution is not None, solution, lifted

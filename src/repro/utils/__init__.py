@@ -1,0 +1,31 @@
+"""Shared utilities: multiset algebra, table rendering, exceptions."""
+
+from repro.utils.exceptions import (
+    ArityMismatchError,
+    CertificateError,
+    FormalismError,
+    GraphConstructionError,
+    InvalidParameterError,
+    LocalityViolationError,
+    ParseError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    SolverLimitError,
+    UnknownLabelError,
+)
+
+__all__ = [
+    "ArityMismatchError",
+    "CertificateError",
+    "FormalismError",
+    "GraphConstructionError",
+    "InvalidParameterError",
+    "LocalityViolationError",
+    "ParseError",
+    "ReproError",
+    "SimulationError",
+    "SolverError",
+    "SolverLimitError",
+    "UnknownLabelError",
+]

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised errors derive from :class:`ReproError` so that callers can
+distinguish library failures from programming errors.  Each subsystem has its
+own subclass; the message always names the offending object so that failures
+in long pipelines (round elimination chains, CSP searches) are diagnosable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class FormalismError(ReproError):
+    """Malformed object in the black-white formalism."""
+
+
+class ParseError(FormalismError):
+    """A configuration / constraint / problem string failed to parse."""
+
+
+class ArityMismatchError(FormalismError):
+    """A configuration has the wrong size for the constraint it joined."""
+
+
+class UnknownLabelError(FormalismError):
+    """A configuration mentions a label outside the problem alphabet."""
+
+
+class InvalidParameterError(ReproError):
+    """Parameters of a problem family are outside their legal range."""
+
+
+class SolverError(ReproError):
+    """The CSP / existence solver was used incorrectly."""
+
+
+class SolverLimitError(SolverError):
+    """The solver exceeded its configured search budget.
+
+    Distinguishes "no solution exists" (a definitive ``None``) from "the
+    search was truncated" (this exception), which matters for lower-bound
+    certificates: an unsolvability claim must never rest on a truncated
+    search.
+    """
+
+
+class SimulationError(ReproError):
+    """A distributed algorithm misbehaved inside the simulator."""
+
+
+class LocalityViolationError(SimulationError):
+    """An algorithm read information outside its radius-T view."""
+
+
+class GraphConstructionError(ReproError):
+    """A graph generator could not satisfy its certified requirements."""
+
+
+class CertificateError(ReproError):
+    """A machine-checkable proof certificate failed validation."""

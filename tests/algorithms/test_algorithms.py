@@ -1,0 +1,169 @@
+"""Tests for the distributed upper-bound algorithms."""
+
+import networkx as nx
+import pytest
+
+from repro.algorithms import (
+    bipartite_maximal_matching,
+    class_sweep_arbdefective_coloring,
+    class_sweep_coloring,
+    global_sinkless_orientation,
+    greedy_maximal_matching,
+    luby_mis,
+    mis_from_ruling_sweep,
+    ruling_set_by_class_sweep,
+    supported_mis_by_coloring,
+    supported_sinkless_orientation_rounds,
+    verify_class_sweep_construction,
+)
+from repro.checkers import (
+    check_arbdefective_coloring,
+    check_maximal_matching,
+    check_mis,
+    check_proper_coloring,
+    check_ruling_set,
+    check_sinkless_orientation,
+    check_x_maximal_y_matching,
+)
+from repro.graphs import (
+    bipartite_double_cover,
+    cage,
+    cycle,
+    greedy_coloring,
+    mark_bipartition,
+)
+from repro.utils import GraphConstructionError
+
+
+def _full_input(graph) -> frozenset:
+    return frozenset(frozenset(edge) for edge in graph.edges)
+
+
+class TestProposalMatching:
+    @pytest.mark.parametrize("name", ["petersen", "heawood", "pappus"])
+    def test_valid_on_double_covers(self, name):
+        graph, _d, _g = cage(name)
+        cover = bipartite_double_cover(graph)
+        matching, rounds = bipartite_maximal_matching(cover, _full_input(cover))
+        assert check_maximal_matching(cover, matching)
+        assert rounds >= 1
+
+    def test_rounds_scale_with_input_degree(self):
+        """The O(Δ′) shape: rounds are 2Δ′ by construction."""
+        graph, _d, _g = cage("heawood")
+        cover = bipartite_double_cover(graph)
+        _m, rounds_full = bipartite_maximal_matching(cover, _full_input(cover))
+        # Input = a perfect matching of the cover (Δ′ = 1).
+        thin = frozenset(
+            frozenset(((node, 0), (node, 1))) for node in graph.nodes
+        )
+        _m2, rounds_thin = bipartite_maximal_matching(cover, thin)
+        assert rounds_full == 2 * 3
+        assert rounds_thin == 2 * 1
+
+    def test_partial_input_graph(self):
+        cover = mark_bipartition(cycle(8))
+        edges = sorted(cover.edges, key=str)[:5]
+        input_edges = frozenset(frozenset(edge) for edge in edges)
+        matching, _rounds = bipartite_maximal_matching(cover, input_edges)
+        input_graph = nx.Graph(list(tuple(edge) for edge in input_edges))
+        assert check_maximal_matching(input_graph, matching)
+
+    def test_agrees_with_greedy_on_validity(self):
+        cover = mark_bipartition(cycle(10))
+        matching = greedy_maximal_matching(cover)
+        assert check_maximal_matching(cover, matching)
+
+
+class TestMIS:
+    @pytest.mark.parametrize("name", ["petersen", "heawood", "desargues"])
+    def test_supported_mis_valid(self, name):
+        graph, _d, _g = cage(name)
+        mis, rounds = supported_mis_by_coloring(graph)
+        assert check_mis(graph, mis)
+        colors_used = len(set(greedy_coloring(graph).values()))
+        assert rounds == colors_used
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_luby_valid(self, seed):
+        graph, _d, _g = cage("petersen")
+        mis, rounds = luby_mis(graph, seed=seed)
+        assert check_mis(graph, mis)
+        assert rounds >= 1
+
+    def test_mis_from_ruling_sweep(self):
+        graph, _d, _g = cage("heawood")
+        mis, _rounds = mis_from_ruling_sweep(graph)
+        assert check_mis(graph, mis)
+
+
+class TestColoring:
+    @pytest.mark.parametrize("name", ["petersen", "mcgee"])
+    def test_class_sweep_proper(self, name):
+        graph, degree, _g = cage(name)
+        coloring, rounds = class_sweep_coloring(graph)
+        assert check_proper_coloring(graph, coloring)
+        assert max(coloring.values()) <= degree  # (Δ+1) colors, 0-based
+        assert rounds >= 1
+
+
+class TestArbdefective:
+    @pytest.mark.parametrize("colors", [1, 2, 3])
+    def test_class_sweep_construction(self, colors):
+        graph, _d, _g = cage("petersen")
+        base = greedy_coloring(graph)
+        assert verify_class_sweep_construction(graph, base, colors)
+
+    def test_alpha_formula(self):
+        graph, degree, _g = cage("heawood")
+        base = greedy_coloring(graph)
+        _c, _o, alpha, _r = class_sweep_arbdefective_coloring(graph, base, 2)
+        assert alpha == degree // 2
+
+    def test_improper_input_rejected(self):
+        graph = cycle(4)
+        from repro.utils import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            class_sweep_arbdefective_coloring(graph, {n: 1 for n in graph}, 2)
+
+
+class TestRulingSets:
+    @pytest.mark.parametrize("beta", [1, 2, 3])
+    def test_sweep_produces_valid_ruling_set(self, beta):
+        graph, _d, _g = cage("tutte_coxeter")
+        selected, rounds = ruling_set_by_class_sweep(graph, beta=beta)
+        assert check_ruling_set(graph, selected, beta, independent=True)
+        assert rounds >= beta
+
+    def test_larger_beta_allows_sparser_sets(self):
+        graph, _d, _g = cage("tutte_coxeter")
+        s1, _ = ruling_set_by_class_sweep(graph, beta=1)
+        s3, _ = ruling_set_by_class_sweep(graph, beta=3)
+        assert len(s3) <= len(s1)
+
+
+class TestSinklessOrientation:
+    @pytest.mark.parametrize("name", ["petersen", "heawood"])
+    def test_global_orientation_valid(self, name):
+        graph, _d, _g = cage(name)
+        orientation = global_sinkless_orientation(graph)
+        assert check_sinkless_orientation(graph, orientation)
+
+    def test_tree_rejected(self):
+        with pytest.raises(GraphConstructionError):
+            global_sinkless_orientation(nx.path_graph(5))
+
+    def test_supported_rounds_constant(self):
+        graph, _d, _g = cage("petersen")
+        assert supported_sinkless_orientation_rounds(graph) == 0
+
+
+class TestXMaximalYMatchingChecker:
+    def test_relaxed_matching_accepted(self):
+        """A 2-matching (y = 2) on a cycle."""
+        graph = cycle(6)
+        matching = {frozenset((0, 1)), frozenset((1, 2)), frozenset((3, 4)),
+                    frozenset((4, 5))}
+        assert check_x_maximal_y_matching(graph, matching, x=0, y=2)
+        assert not check_x_maximal_y_matching(graph, matching, x=0, y=1)

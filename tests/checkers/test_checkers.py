@@ -1,0 +1,189 @@
+"""Tests for the validity checkers, including failure injection."""
+
+import networkx as nx
+import pytest
+
+from repro.checkers import (
+    check_arbdefective_colored_ruling_set,
+    check_arbdefective_coloring,
+    check_bipartite_solution,
+    check_half_edge_labeling,
+    check_maximal_matching,
+    check_mis,
+    check_proper_coloring,
+    check_ruling_set,
+    check_sinkless_orientation,
+    check_x_maximal_y_matching,
+)
+from repro.graphs import cage, cycle, mark_bipartition
+from repro.problems import maximal_matching_problem, pi_arbdefective
+
+
+class TestMatchingChecker:
+    def test_empty_matching_on_edgeless_graph(self):
+        graph = nx.empty_graph(3)
+        assert check_maximal_matching(graph, set())
+
+    def test_non_maximal_rejected_with_reason(self):
+        graph = cycle(6)
+        result = check_maximal_matching(graph, set())
+        assert not result
+        assert "matched neighbors" in result.reason
+
+    def test_overmatched_rejected(self):
+        graph = cycle(4)
+        matching = {frozenset((0, 1)), frozenset((1, 2))}
+        result = check_maximal_matching(graph, matching)
+        assert not result
+        assert "y = 1" in result.reason
+
+    def test_non_edge_rejected(self):
+        graph = cycle(6)
+        result = check_maximal_matching(graph, {frozenset((0, 3))})
+        assert not result
+
+    def test_x_relaxation_weakens_coverage(self):
+        """Larger x excuses unmatched nodes with fewer matched neighbors."""
+        graph = cycle(6)
+        matching = {frozenset((0, 1)), frozenset((3, 4))}
+        assert check_x_maximal_y_matching(graph, matching, x=0, y=1)
+        assert check_x_maximal_y_matching(graph, matching, x=1, y=1)
+
+
+class TestColoringCheckers:
+    def test_proper_coloring(self):
+        graph = cycle(4)
+        assert check_proper_coloring(graph, {0: 1, 1: 2, 2: 1, 3: 2})
+        assert not check_proper_coloring(graph, {0: 1, 1: 1, 2: 1, 3: 2})
+
+    def test_missing_color_rejected(self):
+        graph = cycle(3)
+        result = check_proper_coloring(graph, {0: 1, 1: 2})
+        assert not result and "no color" in result.reason
+
+    def test_arbdefective_requires_orientation(self):
+        graph = cycle(4)
+        color_of = {n: 1 for n in graph.nodes}
+        result = check_arbdefective_coloring(graph, color_of, set(), 1, 1)
+        assert not result and "unoriented" in result.reason
+
+    def test_arbdefective_outdegree_cap(self):
+        graph = nx.star_graph(3)  # center 0
+        color_of = {n: 1 for n in graph.nodes}
+        orientation = {(0, 1), (0, 2), (0, 3)}
+        assert check_arbdefective_coloring(graph, color_of, orientation, 3, 1)
+        result = check_arbdefective_coloring(graph, color_of, orientation, 2, 1)
+        assert not result and "outdegree" in result.reason
+
+    def test_color_range_enforced(self):
+        graph = cycle(3)
+        result = check_arbdefective_coloring(
+            graph, {0: 1, 1: 5, 2: 2}, set(), 1, 2
+        )
+        assert not result and "outside" in result.reason
+
+
+class TestRulingSetCheckers:
+    def test_domination_radius(self):
+        graph = nx.path_graph(7)
+        assert check_ruling_set(graph, {3}, beta=3)
+        assert not check_ruling_set(graph, {3}, beta=2)
+
+    def test_independence_flag(self):
+        graph = cycle(6)
+        assert check_ruling_set(graph, {0, 1}, beta=2)
+        result = check_ruling_set(graph, {0, 1}, beta=2, independent=True)
+        assert not result and "adjacent" in result.reason
+
+    def test_mis_checker(self):
+        graph, _d, _g = cage("petersen")
+        assert not check_mis(graph, set())
+
+    def test_colored_ruling_set_composite(self):
+        graph = nx.path_graph(5)
+        ruling_set = {0, 3}
+        color_of = {0: 1, 3: 1}
+        assert check_arbdefective_colored_ruling_set(
+            graph, ruling_set, color_of, set(), alpha=0, colors=1, beta=2
+        )
+        # A sparser S breaks domination at β = 1 (node 2 is 2 away).
+        assert not check_arbdefective_colored_ruling_set(
+            graph, {0, 4}, {0: 1, 4: 1}, set(), alpha=0, colors=1, beta=1
+        )
+
+
+class TestSinklessOrientationChecker:
+    def test_cyclic_orientation(self):
+        graph = cycle(4)
+        orientation = {
+            frozenset((i, (i + 1) % 4)): (i + 1) % 4 for i in range(4)
+        }
+        assert check_sinkless_orientation(graph, orientation)
+
+    def test_sink_detected(self):
+        graph = cycle(3)
+        orientation = {
+            frozenset((0, 1)): 0,
+            frozenset((1, 2)): 1,
+            frozenset((0, 2)): 0,
+        }
+        result = check_sinkless_orientation(graph, orientation)
+        assert not result and "sink" in result.reason
+
+    def test_unoriented_edge_detected(self):
+        graph = cycle(3)
+        result = check_sinkless_orientation(graph, {})
+        assert not result and "unoriented" in result.reason
+
+
+class TestFormalismSolutionCheckers:
+    def test_bipartite_solution_checker(self):
+        graph = mark_bipartition(cycle(4))
+        problem = maximal_matching_problem(2)
+        whites = [n for n, d in graph.nodes(data=True) if d["color"] == "white"]
+        # Alternate M/O around the cycle so every node sees {M, O}.
+        labeling = {}
+        for white in whites:
+            neighbors = sorted(graph.neighbors(white))
+            labeling[frozenset((white, neighbors[0]))] = "M"
+            labeling[frozenset((white, neighbors[1]))] = "O"
+        result = check_bipartite_solution(graph, problem, labeling)
+        assert bool(result) == all(
+            sorted(
+                labeling[frozenset((node, nb))] for nb in graph.neighbors(node)
+            )
+            == ["M", "O"]
+            for node in graph.nodes
+        )
+
+    def test_unlabeled_edge_rejected(self):
+        graph = mark_bipartition(cycle(4))
+        problem = maximal_matching_problem(2)
+        result = check_bipartite_solution(graph, problem, {})
+        assert not result and "unlabeled" in result.reason
+
+    def test_half_edge_checker_arity_guard(self):
+        graph = cycle(4)
+        problem = maximal_matching_problem(2).swap_sides()
+        # swap_sides gives black arity 2? MM_2 black arity is 2 — use a
+        # 3-arity problem to hit the guard instead.
+        problem3 = pi_arbdefective(3, 2).swap_sides()
+        labels = {}
+        for u, v in graph.edges:
+            labels[(u, v)] = "X"
+            labels[(v, u)] = "X"
+        result = check_half_edge_labeling(graph, problem3, labels)
+        assert not result and "arity 2" in result.reason
+
+    def test_half_edge_checker_accepts_all_x(self):
+        graph = cycle(4)
+        problem = pi_arbdefective(2, 1)
+        labels = {}
+        for u, v in graph.edges:
+            labels[(u, v)] = "{1}"
+            labels[(v, u)] = "X"
+        # Node constraint: each node sees one {1} and one X — the white
+        # constraint ℓ({1})^{Δ-0} X^0 = {1}{1} fails for mixed nodes, so
+        # the checker must reject.
+        result = check_half_edge_labeling(graph, problem, labels)
+        assert not result

@@ -1,0 +1,118 @@
+"""Unit tests for the closed-form bound evaluators."""
+
+import math
+
+import pytest
+
+from repro.core.bounds import (
+    aapr23_mis_parameters,
+    corollary_35_bound,
+    lemma_64_sequence_length,
+    matching_sequence_length,
+    theorem_34_bound,
+    theorem_41_bound,
+    theorem_51_applicable,
+    theorem_51_bound,
+    theorem_61_bound,
+    theorem_b2_bound,
+)
+from repro.utils import InvalidParameterError
+
+
+class TestTheoremB2:
+    def test_girth_limited(self):
+        assert theorem_b2_bound(k=100, girth=10) == 3.0
+
+    def test_sequence_limited(self):
+        assert theorem_b2_bound(k=2, girth=1000) == 4
+
+    def test_infinite_girth(self):
+        assert theorem_b2_bound(k=5, girth=math.inf) == 10
+
+
+class TestTheorem34:
+    def test_deterministic_dominates_randomized(self):
+        bound = theorem_34_bound(k=10, delta=4, rank=4, n=10**9, epsilon=1.0, c=1)
+        assert bound.deterministic >= bound.randomized
+
+    def test_large_k_is_girth_limited(self):
+        bound = theorem_34_bound(k=10**6, delta=4, rank=4, n=10**6, epsilon=1.0, c=1)
+        assert bound.deterministic < 2 * 10**6
+
+    def test_rounded_never_negative(self):
+        bound = theorem_34_bound(k=1, delta=4, rank=4, n=20, epsilon=0.1, c=1)
+        det, rand = bound.rounded()
+        assert det >= 0 and rand >= 0
+
+    def test_hypergraph_form_smaller(self):
+        big_n = 10**12
+        bip = theorem_34_bound(k=50, delta=4, rank=4, n=big_n, epsilon=1.0, c=1)
+        hyp = corollary_35_bound(k=50, delta=4, rank=4, n=big_n, epsilon=1.0, c=1)
+        assert hyp.deterministic <= bip.deterministic
+
+
+class TestTheorem41:
+    def test_k_formula(self):
+        assert matching_sequence_length(delta_prime=10, x=0, y=1) == 8
+        assert matching_sequence_length(delta_prime=10, x=2, y=2) == 2
+
+    def test_bound_grows_with_delta_prime(self):
+        small = theorem_41_bound(delta=50, delta_prime=5, x=0, y=1, n=10**9)
+        large = theorem_41_bound(delta=50, delta_prime=10, x=0, y=1, n=10**9)
+        assert large.deterministic >= small.deterministic
+
+    def test_bound_shrinks_with_y(self):
+        y1 = theorem_41_bound(delta=60, delta_prime=12, x=0, y=1, n=10**18)
+        y2 = theorem_41_bound(delta=60, delta_prime=12, x=0, y=3, n=10**18)
+        assert y1.deterministic >= y2.deterministic
+
+
+class TestTheorem51:
+    def test_applicability_window(self):
+        assert theorem_51_applicable(delta=100, delta_prime=10, alpha=0, colors=3)
+        assert not theorem_51_applicable(delta=100, delta_prime=2, alpha=1, colors=4)
+
+    def test_bound_is_log_delta_n(self):
+        bound = theorem_51_bound(delta=10, n=10**6)
+        assert bound.deterministic == pytest.approx(6.0)
+
+
+class TestTheorem61:
+    def test_beta_guard(self):
+        with pytest.raises(InvalidParameterError):
+            theorem_61_bound(
+                delta=100, delta_prime=10, alpha=0, colors=1, beta=0, n=100
+            )
+
+    def test_quality_guard(self):
+        with pytest.raises(InvalidParameterError):
+            theorem_61_bound(
+                delta=100, delta_prime=4, alpha=3, colors=2, beta=1, n=100
+            )
+
+    def test_beta_tradeoff_shape(self):
+        """Higher β flattens the (Δ̄/(α+1)c)^{1/β} term: at large Δ̄ the
+        β = 1 bound is largest."""
+        kwargs = dict(delta=10**5, delta_prime=32, alpha=0, colors=1, n=10**300)
+        beta1 = theorem_61_bound(beta=1, **kwargs)
+        beta2 = theorem_61_bound(beta=2, **kwargs)
+        beta3 = theorem_61_bound(beta=3, **kwargs)
+        assert beta1.deterministic > beta2.deterministic > beta3.deterministic
+
+    def test_lemma_64_length(self):
+        assert lemma_64_sequence_length(
+            delta=100, alpha=0, colors=1, k=64, beta=2, epsilon=1.0
+        ) == 16
+        with pytest.raises(InvalidParameterError):
+            lemma_64_sequence_length(delta=10, alpha=0, colors=1, k=10, beta=1)
+
+
+class TestAapr23:
+    def test_parameters_shape(self):
+        delta, delta_prime, bound = aapr23_mis_parameters(2**20)
+        assert delta > delta_prime >= 2
+        assert bound == pytest.approx(20 / math.log2(20))
+
+    def test_small_n_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            aapr23_mis_parameters(8)

@@ -1,0 +1,93 @@
+"""End-to-end Theorem 3.4 / Corollary 3.5 pipelines on concrete instances."""
+
+import pytest
+
+from repro.core.framework import (
+    supported_local_lower_bound,
+    supported_local_lower_bound_hypergraph,
+)
+from repro.graphs import bipartite_double_cover, cage, cycle, mark_bipartition
+from repro.problems import (
+    pi_arbdefective,
+    sinkless_orientation_problem,
+)
+from repro.roundelim import constant_sequence
+from repro.utils import CertificateError
+
+
+class TestHypergraphPipeline:
+    def test_arbdefective_lower_bound_on_petersen(self):
+        """Π_2(1) with Δ' = 2 on the Petersen graph (Δ = 3, girth 5):
+        lift unsolvable (χ = 3 > 2k = 2) → a positive round lower bound
+        from the constant fixed-point sequence."""
+        petersen, _degree, girth = cage("petersen")
+        problem = pi_arbdefective(2, 1)
+        sequence = constant_sequence(problem, length=4)
+        certificate = supported_local_lower_bound_hypergraph(
+            petersen, sequence, problem, delta=3, rank=2
+        )
+        assert certificate.lift_unsolvable
+        assert certificate.girth == girth  # rank-2 hypergraph girth = graph girth
+        # min{k, (g−4)/2} with k = 4, hypergraph girth 2.5 → 0.25 > 0? No:
+        # (2.5−4)/2 < 0 — small graphs are girth-limited; the *mechanism*
+        # (unsat certificate) is the tested artifact here.
+        assert certificate.sequence_length == 4
+
+    def test_sinkless_orientation_bkk23(self):
+        """SO with Δ' = 2 < Δ = 3: lift unsolvable on Petersen — the
+        [BKK+23] result reproduced inside the general framework."""
+        petersen, _degree, _girth = cage("petersen")
+        problem = sinkless_orientation_problem(2)
+        sequence = constant_sequence(problem, length=1)
+        certificate = supported_local_lower_bound_hypergraph(
+            petersen, sequence, problem, delta=3, rank=2, verify_sequence=False
+        )
+        assert certificate.lift_unsolvable
+
+    def test_solvable_lift_raises(self):
+        """When Δ' = Δ, SO lifts ARE solvable: the pipeline must refuse to
+        emit a certificate."""
+        petersen, _degree, _girth = cage("petersen")
+        problem = sinkless_orientation_problem(3)
+        sequence = constant_sequence(problem, length=1)
+        with pytest.raises(CertificateError):
+            supported_local_lower_bound_hypergraph(
+                petersen, sequence, problem, delta=3, rank=2
+            )
+
+
+class TestBipartitePipeline:
+    def test_bipartite_certificate_on_double_cover(self):
+        """The §4.2 shape: take a high-girth graph, pass to the double
+        cover, refute the lift.  Instance: proper-2-coloring-style problem
+        that is unsolvable with partial views on a long even cycle."""
+        from repro.formalism.problems import problem_from_lines
+
+        support = mark_bipartition(cycle(10))
+        # White nodes of full degree must output M M, black nodes need
+        # M O: unsolvable on any graph containing a full white node, and
+        # the lift refutation certifies it.
+        problem = problem_from_lines(["M M"], ["M O"], name="forced-MM")
+        sequence = constant_sequence(problem, length=2)
+        certificate = supported_local_lower_bound(
+            support, sequence, problem, delta=2, rank=2
+        )
+        assert certificate.lift_unsolvable
+        assert certificate.bipartite
+        assert certificate.girth == 10
+        # min{2k, (g−4)/2} = min{4, 3} = 3 deterministic rounds.
+        assert certificate.deterministic_rounds == 3
+        assert certificate.randomized_rounds <= certificate.deterministic_rounds
+
+    def test_certificate_bound_object(self):
+        from repro.formalism.problems import problem_from_lines
+
+        support = mark_bipartition(cycle(10))
+        problem = problem_from_lines(["M M"], ["M O"], name="forced-MM")
+        sequence = constant_sequence(problem, length=2)
+        certificate = supported_local_lower_bound(
+            support, sequence, problem, delta=2, rank=2
+        )
+        det, rand = certificate.bound().rounded()
+        assert det == 3
+        assert rand >= 0

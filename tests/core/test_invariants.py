@@ -1,0 +1,142 @@
+"""Cross-cutting property tests: invariants the paper's machinery must
+satisfy on randomly generated small problems.
+
+These are the laws the proofs rely on implicitly:
+
+* RE preserves arities (paper §2, "Round elimination");
+* lift labels are right-closed and the lift black constraint is downward
+  monotone in the label-sets (replacing a set by a subset keeps validity);
+* every solution found by the CSP checks out, and solvability is monotone
+  under adding white configurations (relaxing the problem);
+* Theorem 3.2's derived algorithm is correct whenever the lift solution
+  validates.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lift import lift
+from repro.core.zero_round import (
+    algorithm_from_lift_solution,
+    check_lift_solution,
+    is_correct_zero_round,
+)
+from repro.formalism.configurations import Configuration
+from repro.formalism.constraints import Constraint
+from repro.formalism.diagrams import black_diagram, is_right_closed
+from repro.formalism.labels import set_label_members
+from repro.formalism.problems import Problem
+from repro.graphs import cycle, mark_bipartition
+from repro.roundelim.operators import round_elimination
+from repro.solvers.csp import check_edge_labeling
+from repro.solvers.existence import solve_bipartite
+
+LABELS = ["A", "B", "C"]
+
+config2 = st.lists(st.sampled_from(LABELS), min_size=2, max_size=2).map(
+    Configuration
+)
+
+
+def problems(white_size: int = 2, black_size: int = 2):
+    """Random small problems with arity-2 constraints over {A,B,C}."""
+    return st.builds(
+        lambda whites, blacks: Problem.from_constraints(
+            Constraint(whites), Constraint(blacks), name="rand"
+        ),
+        st.sets(config2, min_size=1, max_size=4),
+        st.sets(config2, min_size=1, max_size=4),
+    )
+
+
+class TestREInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(problems())
+    def test_re_preserves_arities(self, problem):
+        eliminated = round_elimination(problem)
+        assert eliminated.white_arity in (0, problem.white_arity)
+        assert eliminated.black_arity in (0, problem.black_arity)
+
+    @settings(max_examples=15, deadline=None)
+    @given(problems())
+    def test_re_black_labels_are_nonempty_sets(self, problem):
+        eliminated = round_elimination(problem)
+        for label in eliminated.alphabet:
+            assert set_label_members(label)  # decodes, non-empty
+
+
+class TestLiftInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(problems())
+    def test_lift_labels_right_closed(self, problem):
+        lifted = lift(problem, 3, 2)
+        diagram = black_diagram(problem)
+        for label_set in lifted.label_sets:
+            assert is_right_closed(diagram, label_set)
+
+    @settings(max_examples=10, deadline=None)
+    @given(problems())
+    def test_lift_black_downward_monotone(self, problem):
+        """Shrinking a label-set in a valid black configuration keeps it
+        valid (the universal condition only loses choices)."""
+        lifted = lift(problem, 2, 2)
+        sets = list(lifted.label_sets)
+        for first in sets:
+            for second in sets:
+                if not lifted.black_allows([first, second]):
+                    continue
+                for shrunk in sets:
+                    if shrunk < first:
+                        assert lifted.black_allows([shrunk, second])
+
+    @settings(max_examples=10, deadline=None)
+    @given(problems())
+    def test_lift_white_upward_monotone(self, problem):
+        """Growing a label-set in a valid white configuration keeps it
+        valid (the existential condition only gains choices)."""
+        lifted = lift(problem, 2, 2)
+        sets = list(lifted.label_sets)
+        for first in sets:
+            for second in sets:
+                if not lifted.white_allows([first, second]):
+                    continue
+                for grown in sets:
+                    if grown > first:
+                        assert lifted.white_allows([grown, second])
+
+
+class TestSolverTheoremBridge:
+    @settings(max_examples=10, deadline=None)
+    @given(problems(), st.sampled_from([4, 6]))
+    def test_csp_solutions_validate_and_lift_to_algorithms(self, problem, n):
+        """Any lift solution the CSP finds must validate against the lift
+        predicates, and the Theorem 3.2 algorithm derived from it must be
+        exhaustively correct."""
+        graph = mark_bipartition(cycle(n))
+        lifted = lift(problem, 2, 2)
+        explicit = lifted.to_problem()
+        solution = solve_bipartite(graph, explicit)
+        if solution is None:
+            return
+        assert check_edge_labeling(graph, explicit, solution)
+        decoded = {
+            edge: set_label_members(label) for edge, label in solution.items()
+        }
+        assert check_lift_solution(graph, lifted, decoded)
+        algorithm = algorithm_from_lift_solution(graph, lifted, decoded)
+        assert is_correct_zero_round(algorithm, problem, edge_limit=n)
+
+    @settings(max_examples=10, deadline=None)
+    @given(problems())
+    def test_solvability_monotone_under_black_relaxation(self, problem):
+        """Adding black configurations can only help solvability."""
+        graph = mark_bipartition(cycle(4))
+        richer_black = Constraint(
+            set(problem.black.configurations)
+            | {Configuration([a, b]) for a in LABELS for b in LABELS}
+        )
+        relaxed = Problem.from_constraints(problem.white, richer_black)
+        if solve_bipartite(graph, problem) is not None:
+            assert solve_bipartite(graph, relaxed) is not None

@@ -1,0 +1,94 @@
+"""Lemma B.1, executed: 1-round white algorithm → 0-round black for R(Π).
+
+The 1-round algorithm under test is obtained by wrapping a *certified*
+0-round algorithm (from a lift solution via Theorem 3.2) — every 0-round
+algorithm is trivially a 1-round algorithm, and its correctness is already
+machine-checked.  The Lemma B.1 construction then derives the 0-round
+black outputs, which are checked against R(Π)'s constraints on every
+admissible input graph — the lemma's statement, verified exhaustively.
+"""
+
+import pytest
+
+from repro.core.lift import lift
+from repro.core.speedup import (
+    check_against_R_problem,
+    derive_zero_round_black_algorithm,
+    evaluate_one_round,
+    is_correct_one_round,
+)
+from repro.core.zero_round import (
+    admissible_subgraphs,
+    algorithm_from_lift_solution,
+    is_correct_zero_round,
+)
+from repro.formalism.labels import set_label_members
+from repro.graphs import cycle, mark_bipartition
+from repro.problems import maximal_matching_problem
+from repro.roundelim import apply_R
+from repro.solvers.existence import solve_bipartite
+
+
+@pytest.fixture
+def c8():
+    # Girth 8 ≥ 2T+4 = 6 for T = 1, as Lemma B.1 requires.
+    return mark_bipartition(cycle(8))
+
+
+def _one_round_rule_from_zero_round(graph, problem):
+    """A certified 1-round white rule: run the Theorem 3.2 construction
+    and ignore the radius-1 extra information."""
+    lifted = lift(problem, 2, 2)
+    explicit = lifted.to_problem()
+    solution = solve_bipartite(graph, explicit)
+    assert solution is not None, "MM_2 lift must be solvable on a cycle"
+    decoded = {edge: set_label_members(label) for edge, label in solution.items()}
+    zero_round = algorithm_from_lift_solution(graph, lifted, decoded)
+    assert is_correct_zero_round(zero_round, problem, edge_limit=8)
+
+    def rule(node, own_inputs, view):
+        return zero_round.run(node, frozenset(own_inputs))
+
+    return rule
+
+
+class TestLemmaB1:
+    def test_wrapped_zero_round_is_correct_one_round(self, c8):
+        problem = maximal_matching_problem(2)
+        rule = _one_round_rule_from_zero_round(c8, problem)
+        assert is_correct_one_round(c8, rule, problem, edge_limit=8)
+
+    def test_derived_black_outputs_satisfy_R(self, c8):
+        """The heart of Lemma B.1: for every admissible G′ the derived
+        0-round black outputs form valid R(Π) configurations."""
+        problem = maximal_matching_problem(2)
+        r_problem = apply_R(problem)
+        rule = _one_round_rule_from_zero_round(c8, problem)
+        checked = 0
+        for input_edges in admissible_subgraphs(c8, 2, 2, edge_limit=8):
+            derived = derive_zero_round_black_algorithm(
+                c8, rule, problem, input_edges, edge_limit=8
+            )
+            assert check_against_R_problem(derived, c8, r_problem, input_edges)
+            checked += 1
+        assert checked == 2**8  # every subset of C8's edges is admissible
+
+    def test_derived_sets_contain_observed_labels(self, c8):
+        """Property (1) of the L* construction: L*_e ⊇ L_e ∋ the label the
+        algorithm actually outputs on the full input graph."""
+        problem = maximal_matching_problem(2)
+        rule = _one_round_rule_from_zero_round(c8, problem)
+        full_input = frozenset(frozenset(edge) for edge in c8.edges)
+        actual = evaluate_one_round(c8, rule, full_input)
+        derived = derive_zero_round_black_algorithm(
+            c8, rule, problem, full_input, edge_limit=8
+        )
+        for edge, label_set in derived.items():
+            assert actual[edge] in label_set
+
+    def test_evaluate_one_round_labels_input_edges(self, c8):
+        problem = maximal_matching_problem(2)
+        rule = _one_round_rule_from_zero_round(c8, problem)
+        edges = frozenset(frozenset(edge) for edge in c8.edges)
+        labeling = evaluate_one_round(c8, rule, edges)
+        assert set(labeling) == edges

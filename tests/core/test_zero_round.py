@@ -1,0 +1,143 @@
+"""Theorem 3.2 / Corollary 3.3, tested constructively and independently.
+
+The equivalence "0-round white algorithm exists ⟺ lift solution exists"
+is the paper's central theorem.  Tests here:
+
+* round-trip both constructive directions on solvable instances;
+* brute-force the *entire algorithm space* on tiny instances and compare
+  against CSP solvability of the lift — an independent check of the
+  theorem itself, not just of the constructions.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.core.lift import lift
+from repro.core.zero_round import (
+    admissible_subgraphs,
+    algorithm_from_lift_solution,
+    check_lift_solution,
+    evaluate_on_subgraph,
+    exists_zero_round_algorithm,
+    is_correct_zero_round,
+    lift_solution_from_algorithm,
+)
+from repro.formalism.labels import set_label_members
+from repro.graphs import cycle, mark_bipartition
+from repro.problems import (
+    maximal_matching_problem,
+    sinkless_orientation_problem,
+)
+from repro.solvers.existence import solve_bipartite
+
+
+@pytest.fixture
+def c6():
+    return mark_bipartition(cycle(6))
+
+
+@pytest.fixture
+def c4():
+    return mark_bipartition(cycle(4))
+
+
+class TestAdmissibleSubgraphs:
+    def test_degree_caps_respected(self, c4):
+        for subgraph in admissible_subgraphs(c4, delta_prime=1, r_prime=2):
+            degrees = {}
+            for edge in subgraph:
+                for endpoint in edge:
+                    degrees[endpoint] = degrees.get(endpoint, 0) + 1
+            for node, degree in degrees.items():
+                cap = 1 if c4.nodes[node]["color"] == "white" else 2
+                assert degree <= cap
+
+    def test_counts_on_c4(self, c4):
+        # All 16 edge subsets of C4 have degrees ≤ 2.
+        assert len(list(admissible_subgraphs(c4, 2, 2))) == 16
+
+
+class TestTheorem32RoundTrip:
+    def test_matching_round_trip_on_c6(self, c6):
+        problem = maximal_matching_problem(2)
+        lifted = lift(problem, 2, 2)
+        explicit = lifted.to_problem()
+        solution = solve_bipartite(c6, explicit)
+        assert solution is not None
+        decoded = {
+            edge: set_label_members(label) for edge, label in solution.items()
+        }
+        assert check_lift_solution(c6, lifted, decoded)
+
+        algorithm = algorithm_from_lift_solution(c6, lifted, decoded)
+        assert is_correct_zero_round(algorithm, problem)
+
+        back = lift_solution_from_algorithm(algorithm, lifted)
+        assert check_lift_solution(c6, lifted, back)
+
+    def test_algorithm_outputs_are_deterministic(self, c6):
+        problem = maximal_matching_problem(2)
+        lifted = lift(problem, 2, 2)
+        explicit = lifted.to_problem()
+        solution = solve_bipartite(c6, explicit)
+        decoded = {
+            edge: set_label_members(label) for edge, label in solution.items()
+        }
+        algorithm = algorithm_from_lift_solution(c6, lifted, decoded)
+        node = next(
+            node for node, data in c6.nodes(data=True) if data["color"] == "white"
+        )
+        neighbors = frozenset(list(c6.neighbors(node))[:2])
+        assert algorithm.run(node, neighbors) == algorithm.run(node, neighbors)
+
+
+class TestTheorem32Independently:
+    """Brute force over the algorithm space vs lift solvability."""
+
+    def test_solvable_side_on_c4(self, c4):
+        problem = maximal_matching_problem(2)
+        lifted = lift(problem, 2, 2)
+        explicit = lifted.to_problem()
+        lift_solvable = solve_bipartite(c4, explicit) is not None
+        algorithm_exists = exists_zero_round_algorithm(c4, problem)
+        assert lift_solvable == algorithm_exists
+
+    def test_unsolvable_side_forced_mismatch(self, c4):
+        """White constraint forces M M while black needs M O: unsolvable
+        by *any* algorithm; lift solvability and the brute force over the
+        full algorithm space must both say no."""
+        from repro.formalism.problems import problem_from_lines
+
+        problem = problem_from_lines(["M M"], ["M O"], name="forced-MM")
+        lifted = lift(problem, 2, 2)
+        explicit = lifted.to_problem()
+        lift_solvable = solve_bipartite(c4, explicit) is not None
+        algorithm_exists = exists_zero_round_algorithm(c4, problem)
+        assert lift_solvable == algorithm_exists
+        assert not lift_solvable
+
+    def test_sinkless_orientation_on_c4(self, c4):
+        """SO with Δ' = 2 = Δ: solvable 0-round (G is fully known)."""
+        problem = sinkless_orientation_problem(2)
+        lifted = lift(problem, 2, 2)
+        explicit = lifted.to_problem()
+        lift_solvable = solve_bipartite(c4, explicit) is not None
+        algorithm_exists = exists_zero_round_algorithm(c4, problem)
+        assert lift_solvable == algorithm_exists
+        assert lift_solvable  # cycles orient cyclically
+
+
+class TestEvaluation:
+    def test_evaluate_on_subgraph_labels_input_edges_only(self, c6):
+        problem = maximal_matching_problem(2)
+        lifted = lift(problem, 2, 2)
+        explicit = lifted.to_problem()
+        solution = solve_bipartite(c6, explicit)
+        decoded = {
+            edge: set_label_members(label) for edge, label in solution.items()
+        }
+        algorithm = algorithm_from_lift_solution(c6, lifted, decoded)
+        edges = sorted(c6.edges, key=str)
+        chosen = frozenset({frozenset(edges[0]), frozenset(edges[2])})
+        labeling = evaluate_on_subgraph(algorithm, chosen)
+        assert set(labeling) == set(chosen)

@@ -1,0 +1,122 @@
+"""Unit tests for strength relations, diagrams and right-closed sets.
+
+The ground truths come straight from the paper: Appendix A states the black
+diagram of maximal matching is the single edge (P, O); §4.2 lists the exact
+right-closed label-sets of the matching problem Π.
+"""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.formalism.configurations import Configuration
+from repro.formalism.constraints import Constraint
+from repro.formalism.diagrams import (
+    black_diagram,
+    diagram,
+    diagram_reduction,
+    is_at_least_as_strong,
+    is_right_closed,
+    right_closed_subsets,
+    right_closure,
+    successors_closure,
+)
+from repro.formalism.problems import problem_from_lines
+
+
+@pytest.fixture
+def maximal_matching():
+    return problem_from_lines(["M O^2", "P^3"], ["M [OP]^2", "O^3"], name="MM")
+
+
+class TestStrengthRelation:
+    def test_matching_O_stronger_than_P(self, maximal_matching):
+        assert is_at_least_as_strong("O", "P", maximal_matching.black)
+
+    def test_matching_no_other_pairs(self, maximal_matching):
+        graph = black_diagram(maximal_matching)
+        assert set(graph.edges) == {("P", "O")}
+
+    def test_reflexivity(self, maximal_matching):
+        for label in "MOP":
+            assert is_at_least_as_strong(label, label, maximal_matching.black)
+
+    def test_strength_is_transitive(self):
+        """Strength must be transitive by definition; check on a chain."""
+        constraint = Constraint(
+            [Configuration("A"), Configuration("B"), Configuration("C")]
+        )
+        # In a unary constraint allowing all three, all labels are equivalent.
+        graph = diagram("ABC", constraint)
+        assert nx.is_strongly_connected(graph)
+
+    @given(st.sets(st.sampled_from(["AA", "AB", "BB", "BC", "CC", "AC"]), min_size=1))
+    def test_diagram_relation_is_transitive(self, config_strings):
+        constraint = Constraint(Configuration(s) for s in config_strings)
+        graph = diagram("ABC", constraint)
+        for a in graph.nodes:
+            for b in graph.nodes:
+                for c in graph.nodes:
+                    if graph.has_edge(a, b) and graph.has_edge(b, c) and a != c:
+                        assert graph.has_edge(a, c), (a, b, c)
+
+
+class TestRightClosedSets:
+    def test_matching_right_closed_sets(self, maximal_matching):
+        graph = black_diagram(maximal_matching)
+        sets = {frozenset(s) for s in right_closed_subsets(graph)}
+        assert sets == {
+            frozenset("M"),
+            frozenset("O"),
+            frozenset("MO"),
+            frozenset("OP"),
+            frozenset("MO" "P"),
+        }
+
+    def test_closure_of_P_contains_O(self, maximal_matching):
+        graph = black_diagram(maximal_matching)
+        assert right_closure(graph, ["P"]) == frozenset("OP")
+
+    def test_is_right_closed(self, maximal_matching):
+        graph = black_diagram(maximal_matching)
+        assert is_right_closed(graph, frozenset("OP"))
+        assert not is_right_closed(graph, frozenset("P"))
+
+    def test_unknown_label_raises(self, maximal_matching):
+        graph = black_diagram(maximal_matching)
+        with pytest.raises(KeyError):
+            successors_closure(graph, ["Z"])
+
+    def test_every_enumerated_subset_is_right_closed(self, maximal_matching):
+        graph = black_diagram(maximal_matching)
+        for subset in right_closed_subsets(graph):
+            assert is_right_closed(graph, subset)
+
+    def test_enumeration_is_complete(self, maximal_matching):
+        """Cross-check against brute-force enumeration of all subsets."""
+        from itertools import chain, combinations
+
+        graph = black_diagram(maximal_matching)
+        labels = sorted(graph.nodes)
+        brute = {
+            frozenset(combo)
+            for combo in chain.from_iterable(
+                combinations(labels, k) for k in range(1, len(labels) + 1)
+            )
+            if is_right_closed(graph, frozenset(combo))
+        }
+        assert set(right_closed_subsets(graph)) == brute
+
+
+class TestDiagramReduction:
+    def test_reduction_of_chain(self):
+        graph = nx.DiGraph([("A", "B"), ("B", "C"), ("A", "C")])
+        reduced = diagram_reduction(graph)
+        assert set(reduced.edges) == {("A", "B"), ("B", "C")}
+
+    def test_reduction_collapses_equivalent_labels(self):
+        graph = nx.DiGraph([("A", "B"), ("B", "A"), ("B", "C"), ("A", "C")])
+        reduced = diagram_reduction(graph)
+        assert set(reduced.nodes) == {"A≡B", "C"}
+        assert set(reduced.edges) == {("A≡B", "C")}

@@ -1,0 +1,109 @@
+"""Unit tests for the configuration / constraint parser."""
+
+import pytest
+
+from repro.formalism.configurations import Configuration
+from repro.formalism.parsing import (
+    parse_condensed,
+    parse_configuration,
+    parse_constraint,
+)
+from repro.utils import ParseError
+
+
+class TestParseConfiguration:
+    def test_plain(self):
+        assert parse_configuration("M O O") == Configuration("MOO")
+
+    def test_exponent(self):
+        assert parse_configuration("M O^3") == Configuration("MOOO")
+
+    def test_exponent_one(self):
+        assert parse_configuration("M^1 O") == Configuration("MO")
+
+    def test_multichar_labels(self):
+        assert parse_configuration("P1 U1^2") == Configuration(["P1", "U1", "U1"])
+
+    def test_set_labels(self):
+        config = parse_configuration("{A,B} X")
+        assert config == Configuration(["{A,B}", "X"])
+
+    def test_brackets_rejected(self):
+        with pytest.raises(ParseError):
+            parse_configuration("[MO] X")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_configuration("   ")
+
+    def test_leading_exponent_rejected(self):
+        with pytest.raises(ParseError):
+            parse_configuration("^2 M")
+
+
+class TestParseCondensed:
+    def test_single_char_bracket(self):
+        cc = parse_condensed("[MX] O")
+        assert cc.slots == (frozenset("MX"), frozenset("O"))
+
+    def test_bracket_exponent(self):
+        cc = parse_condensed("[PO]^2 M")
+        assert cc.slots == (frozenset("PO"), frozenset("PO"), frozenset("M"))
+
+    def test_multichar_bracket_with_spaces(self):
+        cc = parse_condensed("[P1 U1] X")
+        assert cc.slots == (frozenset({"P1", "U1"}), frozenset("X"))
+
+    def test_multichar_bracket_with_commas(self):
+        cc = parse_condensed("[P1,U1] X")
+        assert cc.slots == (frozenset({"P1", "U1"}), frozenset("X"))
+
+    def test_set_labels_in_bracket(self):
+        cc = parse_condensed("[{A},{A,B}] X")
+        assert cc.slots == (frozenset({"{A}", "{A,B}"}), frozenset("X"))
+
+    def test_set_labels_character_mode(self):
+        # Braces stay atomic even without separators.
+        cc = parse_condensed("[{1}{2}X]")
+        assert cc.slots == (frozenset({"{1}", "{2}", "X"}),)
+
+    def test_paper_style_matching_constraint(self):
+        # ΠB line from Definition 4.2 at Δ=4, y=1, x=1:
+        cc = parse_condensed("[MX] [POX] [OX]^2")
+        assert cc.size == 4
+        assert cc.slots[0] == frozenset("MX")
+
+    def test_empty_bracket_rejected(self):
+        with pytest.raises(ParseError):
+            parse_condensed("[] X")
+
+    def test_unbalanced_brace_rejected(self):
+        with pytest.raises(ParseError):
+            parse_condensed("[{A X]")
+
+
+class TestParseConstraint:
+    def test_multi_line_with_comments(self):
+        constraint = parse_constraint(
+            """
+            # maximal matching, white side, Δ=3
+            M O^2
+            P^3
+            """
+        )
+        assert Configuration("MOO") in constraint
+        assert Configuration("PPP") in constraint
+        assert len(constraint) == 2
+
+    def test_condensed_lines_expand(self):
+        constraint = parse_constraint("M [OP]^2\nO^3")
+        assert len(constraint) == 4
+
+    def test_round_trip_with_rendering(self):
+        from repro.formalism.problems import problem_from_lines
+        from repro.formalism.rendering import condensed_listing
+
+        problem = problem_from_lines(["M O^2", "P^3"], ["M [OP]^2", "O^3"])
+        listing = condensed_listing(problem, "white")
+        reparsed = parse_constraint("\n".join(listing))
+        assert reparsed == problem.white

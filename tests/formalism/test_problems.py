@@ -1,0 +1,96 @@
+"""Unit tests for the Problem class: renaming, isomorphism, arities."""
+
+import pytest
+
+from repro.formalism.problems import Problem, problem_from_lines
+from repro.utils import FormalismError, UnknownLabelError
+
+
+@pytest.fixture
+def matching():
+    return problem_from_lines(["M O^2", "P^3"], ["M [OP]^2", "O^3"], name="MM")
+
+
+class TestProblemBasics:
+    def test_arities(self, matching):
+        assert matching.white_arity == 3
+        assert matching.black_arity == 3
+
+    def test_alphabet_is_used_labels(self, matching):
+        assert matching.alphabet == frozenset("MOP")
+
+    def test_alphabet_checked(self):
+        from repro.formalism.constraints import Constraint
+        from repro.formalism.configurations import Configuration
+
+        with pytest.raises(UnknownLabelError):
+            Problem(
+                alphabet=frozenset("M"),
+                white=Constraint([Configuration("MO")]),
+                black=Constraint([Configuration("MO")]),
+            )
+
+    def test_swap_sides(self, matching):
+        swapped = matching.swap_sides()
+        assert swapped.white == matching.black
+        assert swapped.black == matching.white
+
+    def test_describe_mentions_every_configuration(self, matching):
+        text = matching.describe()
+        assert "M O^2" in text
+        assert "P^3" in text
+
+
+class TestRenaming:
+    def test_rename(self, matching):
+        renamed = matching.rename({"M": "Q", "O": "R", "P": "S"})
+        assert renamed.alphabet == frozenset("QRS")
+
+    def test_non_injective_rename_rejected(self, matching):
+        with pytest.raises(FormalismError):
+            matching.rename({"M": "O"})
+
+    def test_partial_rename_keeps_other_labels(self, matching):
+        renamed = matching.rename({"M": "Q"})
+        assert renamed.alphabet == frozenset("QOP")
+
+
+class TestIsomorphism:
+    def test_identical_problems_are_isomorphic(self, matching):
+        assert matching.is_isomorphic_to(matching)
+
+    def test_renamed_problem_is_isomorphic(self, matching):
+        renamed = matching.rename({"M": "Q", "O": "R", "P": "S"})
+        mapping = matching.find_isomorphism(renamed)
+        assert mapping == {"M": "Q", "O": "R", "P": "S"}
+
+    def test_different_alphabet_sizes_not_isomorphic(self, matching):
+        other = problem_from_lines(["M O^2"], ["M O^2"])
+        assert not matching.is_isomorphic_to(other)
+
+    def test_different_constraint_counts_not_isomorphic(self, matching):
+        other = problem_from_lines(["M O^2", "P^3", "O^3"], ["M [OP]^2", "O^3"])
+        assert not matching.is_isomorphic_to(other)
+
+    def test_structurally_different_not_isomorphic(self):
+        one = problem_from_lines(["A A"], ["A B"])
+        two = problem_from_lines(["A B"], ["A B"])
+        assert not one.is_isomorphic_to(two)
+
+    def test_isomorphism_requires_both_sides(self):
+        """Problems equal on white but not black sides are not isomorphic."""
+        one = problem_from_lines(["A B"], ["A A"])
+        two = problem_from_lines(["A B"], ["B B"])
+        # These *are* isomorphic (swap A and B) — the white side permits it.
+        assert one.is_isomorphic_to(two)
+        three = problem_from_lines(["A B"], ["A B"])
+        assert not one.is_isomorphic_to(three)
+
+    def test_symmetric_signature_needs_backtracking(self):
+        """Labels with identical signatures force the search to branch."""
+        one = problem_from_lines(["A B", "C D"], ["A C", "B D"])
+        two = problem_from_lines(["A B", "C D"], ["A D", "B C"])
+        mapping = one.find_isomorphism(two)
+        assert mapping is not None
+        renamed = one.rename(mapping)
+        assert renamed.same_constraints(two)

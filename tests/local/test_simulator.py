@@ -1,0 +1,162 @@
+"""Tests for the LOCAL / Supported LOCAL simulator."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import cage, cycle
+from repro.local import (
+    Network,
+    NodeAlgorithm,
+    SupportedInstance,
+    collect_supported_view,
+    collect_view,
+    run_supported_view_algorithm,
+    run_synchronous,
+    run_view_algorithm,
+)
+from repro.utils import LocalityViolationError, SimulationError
+
+
+class TestNetwork:
+    def test_canonical_ids(self):
+        network = Network(graph=cycle(4))
+        assert sorted(network.ids.values()) == [1, 2, 3, 4]
+
+    def test_ports_are_consistent(self):
+        network = Network(graph=cycle(5))
+        for node in network.graph.nodes:
+            for port in range(1, network.graph.degree(node) + 1):
+                neighbor = network.via_port(node, port)
+                assert network.port_to(node, neighbor) == port
+
+    def test_random_ids_distinct(self):
+        network = Network(graph=cycle(6)).with_random_ids(seed=1)
+        assert len(set(network.ids.values())) == 6
+
+    def test_renormalized_ids(self):
+        network = Network(graph=cycle(6)).with_random_ids(seed=2)
+        renormalized = network.renormalized_ids()
+        assert sorted(renormalized.values()) == list(range(1, 7))
+        # Order preserved.
+        original_order = sorted(network.ids, key=lambda n: network.ids[n])
+        renorm_order = sorted(renormalized, key=lambda n: renormalized[n])
+        assert original_order == renorm_order
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(SimulationError):
+            Network(graph=cycle(3), ids={0: 1, 1: 1, 2: 2})
+
+
+class _EchoIds(NodeAlgorithm):
+    """One round: send own ID, collect neighbor IDs, halt."""
+
+    def init(self):
+        self.collected = {}
+
+    def send(self):
+        return {port: self.ctx.node_id for port in self.ctx.ports}
+
+    def receive(self, messages):
+        self.collected = dict(messages)
+        self.halt(sorted(self.collected.values()))
+
+
+class TestMessagePassing:
+    def test_one_round_id_exchange(self):
+        network = Network(graph=cycle(4))
+        result = run_synchronous(network, _EchoIds)
+        assert result.rounds == 1
+        for node in network.graph.nodes:
+            expected = sorted(
+                network.ids[neighbor] for neighbor in network.graph.neighbors(node)
+            )
+            assert result.outputs[node] == expected
+
+    def test_nonhalting_algorithm_detected(self):
+        class Forever(NodeAlgorithm):
+            pass
+
+        network = Network(graph=cycle(3))
+        with pytest.raises(SimulationError):
+            run_synchronous(network, Forever, max_rounds=5)
+
+    def test_invalid_port_detected(self):
+        class BadPort(NodeAlgorithm):
+            def send(self):
+                return {99: "boom"}
+
+            def receive(self, messages):
+                self.halt(None)
+
+        network = Network(graph=cycle(3))
+        with pytest.raises(SimulationError):
+            run_synchronous(network, BadPort)
+
+
+class TestViews:
+    def test_view_radius_content(self):
+        network = Network(graph=cycle(8))
+        view = collect_view(network, 0, radius=2)
+        assert set(view.subgraph.nodes) == {6, 7, 0, 1, 2}
+
+    def test_view_locality_enforced(self):
+        network = Network(graph=cycle(8))
+        view = collect_view(network, 0, radius=1)
+        with pytest.raises(LocalityViolationError):
+            view.id_of(4)
+
+    def test_view_algorithm_runner(self):
+        network = Network(graph=cycle(6))
+        result = run_view_algorithm(
+            network, radius=1, rule=lambda view: len(view.subgraph)
+        )
+        assert result.rounds == 1
+        assert all(value == 3 for value in result.outputs.values())
+
+
+class TestSupportedViews:
+    def test_support_graph_fully_visible(self):
+        petersen, _d, _g = cage("petersen")
+        instance = SupportedInstance.from_graphs(
+            petersen, [list(petersen.edges)[0]]
+        )
+        view = instance.view(0, radius=0)
+        assert view.support.number_of_nodes() == 10  # all of G, radius 0
+
+    def test_input_marks_limited_by_radius(self):
+        graph = cycle(8)
+        edges = list(graph.edges)
+        instance = SupportedInstance.from_graphs(graph, edges)
+        view = instance.view(0, radius=0)
+        # Own edges visible…
+        assert view.is_input_edge(0, 1)
+        # …distant marks are not.
+        with pytest.raises(LocalityViolationError):
+            view.is_input_edge(4, 5)
+
+    def test_marks_propagate_with_radius(self):
+        graph = cycle(8)
+        instance = SupportedInstance.from_graphs(graph, list(graph.edges))
+        view = instance.view(0, radius=3)
+        assert view.is_input_edge(3, 4)  # incident to distance-3 node
+
+    def test_foreign_input_edge_rejected(self):
+        graph = cycle(4)
+        with pytest.raises(SimulationError):
+            SupportedInstance.from_graphs(graph, [(0, 2)])
+
+    def test_input_degree(self):
+        graph = cycle(6)
+        instance = SupportedInstance.from_graphs(graph, [(0, 1), (1, 2)])
+        assert instance.input_degree == 2
+
+    def test_supported_runner(self):
+        graph = cycle(6)
+        instance = SupportedInstance.from_graphs(graph, [(0, 1)])
+        result = run_supported_view_algorithm(
+            instance,
+            radius=1,
+            rule=lambda view: len(view.input_neighbors(view.center)),
+        )
+        assert result.outputs[0] == 1
+        assert result.outputs[3] == 0

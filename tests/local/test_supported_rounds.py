@@ -1,0 +1,64 @@
+"""Round-complexity bracketing via the Supported LOCAL view runner,
+plus rendering round-trips."""
+
+import pytest
+
+from repro.formalism import render_diagram, render_problem, black_diagram
+from repro.graphs import cycle
+from repro.local import SupportedInstance, minimum_rounds
+from repro.problems import maximal_matching_problem
+
+
+class TestMinimumRounds:
+    def test_component_detection_needs_radius(self):
+        """Toy task: every node must report the exact number of input
+        edges within its view; with the full cycle as input this needs
+        radius ⌈n/2⌉ to see everything, and minimum_rounds finds the
+        smallest sufficient radius for a weaker target."""
+        graph = cycle(8)
+        instance = SupportedInstance.from_graphs(graph, list(graph.edges))
+
+        def rule_for_radius(radius):
+            def rule(view):
+                # Count visible input edges (marks within the radius).
+                seen = set()
+                for edge, marked in view._visible_marks.items():
+                    if marked:
+                        seen.add(edge)
+                return len(seen)
+
+            return rule
+
+        def is_valid(outputs):
+            # Valid once every node sees at least 5 of the 8 edges.
+            return all(count >= 5 for count in outputs.values())
+
+        rounds = minimum_rounds(instance, rule_for_radius, is_valid, max_radius=4)
+        # Radius T sees edges incident to nodes within distance T:
+        # 2T + 1 edges on a cycle → need T = 2 for ≥ 5.
+        assert rounds == 2
+
+    def test_unachievable_returns_none(self):
+        graph = cycle(6)
+        instance = SupportedInstance.from_graphs(graph, [list(graph.edges)[0]])
+        rounds = minimum_rounds(
+            instance,
+            lambda radius: (lambda view: 0),
+            lambda outputs: False,
+            max_radius=2,
+        )
+        assert rounds is None
+
+
+class TestRendering:
+    def test_render_problem_contains_constraints(self):
+        problem = maximal_matching_problem(3)
+        text = render_problem(problem)
+        assert "M O^2" in text
+        assert "white constraint" in text
+
+    def test_render_diagram_shows_reduction(self):
+        problem = maximal_matching_problem(3)
+        text = render_diagram(black_diagram(problem), title="black")
+        assert "P -> O" in text
+        assert "transitive reduction" in text

@@ -1,0 +1,61 @@
+"""Mechanical verification of Lemma 5.4 and related fixed point facts.
+
+Lemma 5.4 ([BBKO22]): for (α+1)c ≤ Δ, RE(Π_Δ((α+1)c)) = Π_Δ((α+1)c).
+These tests run RE literally and check isomorphism — the paper's central
+imported ingredient for the §5 lower bound, reproduced exactly.
+"""
+
+import pytest
+
+from repro.problems import pi_arbdefective, sinkless_orientation_problem
+from repro.roundelim import (
+    analyze_fixed_point,
+    constant_sequence,
+    is_fixed_point,
+    is_fixed_point_up_to_relaxation,
+    round_elimination,
+    compress_labels,
+)
+
+
+class TestLemma54:
+    @pytest.mark.parametrize("delta,k", [(2, 2), (3, 2), (3, 3), (4, 2)])
+    def test_arbdefective_family_is_exact_fixed_point(self, delta, k):
+        assert is_fixed_point(pi_arbdefective(delta, k))
+
+    @pytest.mark.parametrize("delta,k", [(3, 2), (4, 2)])
+    def test_fixed_point_implies_relaxation_fixed_point(self, delta, k):
+        report = analyze_fixed_point(pi_arbdefective(delta, k))
+        assert report.is_exact_fixed_point
+        assert report.is_relaxation_fixed_point
+
+    def test_corollary_55_constant_sequence_verifies(self):
+        """Corollary 5.5: the constant sequence is a lower bound sequence."""
+        problem = pi_arbdefective(3, 2)
+        sequence = constant_sequence(problem, length=3)
+        witnesses = sequence.verify()
+        assert len(witnesses) == 3
+        for witness in witnesses:
+            assert (
+                witness.relaxation_map is not None
+                or witness.config_map is not None
+            )
+
+
+class TestSinklessOrientationBehaviour:
+    def test_so_is_not_itself_a_fixed_point_in_rank2_encoding(self):
+        """SO on graphs (rank-2 edges) converges after one step."""
+        so = sinkless_orientation_problem(3)
+        assert not is_fixed_point(so)
+
+    def test_re_of_so_is_a_fixed_point(self):
+        so = sinkless_orientation_problem(3)
+        once, _ = compress_labels(round_elimination(so))
+        report = analyze_fixed_point(once)
+        assert report.is_exact_fixed_point
+
+    def test_iterating_re_stays_at_the_fixed_point(self):
+        so = sinkless_orientation_problem(3)
+        once, _ = compress_labels(round_elimination(so))
+        twice, _ = compress_labels(round_elimination(once))
+        assert once.is_isomorphic_to(twice)

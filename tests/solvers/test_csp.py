@@ -1,0 +1,134 @@
+"""CSP solver tests, including property-based agreement with brute force."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formalism.problems import problem_from_lines
+from repro.graphs import cycle, mark_bipartition
+from repro.problems import maximal_matching_problem, sinkless_orientation_problem
+from repro.solvers.csp import EdgeLabelingCSP, check_edge_labeling
+from repro.solvers.enumeration import brute_force_solutions, brute_force_solvable
+from repro.solvers.existence import (
+    bipartite_solvable,
+    non_bipartite_solvable,
+    solve_bipartite,
+    solve_s_solution,
+)
+from repro.utils import SolverError, SolverLimitError
+
+
+@pytest.fixture
+def c6():
+    return mark_bipartition(cycle(6))
+
+
+class TestEdgeLabelingCSP:
+    def test_solves_matching_on_even_cycle(self, c6):
+        problem = maximal_matching_problem(2)
+        solution = solve_bipartite(c6, problem)
+        assert solution is not None
+        assert check_edge_labeling(c6, problem, solution)
+
+    def test_unsat_is_definitive(self, c6):
+        problem = problem_from_lines(["M M"], ["M O"], name="forced")
+        assert solve_bipartite(c6, problem) is None
+
+    def test_missing_colors_rejected(self):
+        graph = cycle(4)  # no color attributes
+        with pytest.raises(SolverError):
+            EdgeLabelingCSP(graph, maximal_matching_problem(2))
+
+    def test_monochromatic_edge_rejected(self):
+        graph = nx.path_graph(3)
+        graph.nodes[0]["color"] = "white"
+        graph.nodes[1]["color"] = "white"
+        graph.nodes[2]["color"] = "black"
+        with pytest.raises(SolverError):
+            EdgeLabelingCSP(graph, maximal_matching_problem(2))
+
+    def test_budget_enforced(self, c6):
+        problem = maximal_matching_problem(2)
+        with pytest.raises(SolverLimitError):
+            EdgeLabelingCSP(c6, problem, budget=2).solve()
+
+    def test_count_agrees_with_enumeration(self, c6):
+        problem = sinkless_orientation_problem(2)
+        csp_count = EdgeLabelingCSP(c6, problem).count_solutions()
+        brute_count = sum(1 for _ in brute_force_solutions(c6, problem))
+        assert csp_count == brute_count
+
+    def test_degree_mismatch_nodes_unconstrained(self):
+        """A path's endpoints (degree 1 < arity 2) are unconstrained."""
+        graph = nx.path_graph(4)
+        for node in graph.nodes:
+            graph.nodes[node]["color"] = "white" if node % 2 == 0 else "black"
+        problem = problem_from_lines(["M M"], ["M O"], name="forced")
+        # Only interior nodes are constrained; with 4 nodes, node 1 and 2.
+        solution = solve_bipartite(graph, problem)
+        # Node 1 (black, degree 2) needs M O; node 2 (white, degree 2)
+        # needs M M → edge (1,2) must be M (white side) and node 1's other
+        # edge O.  Endpoint constraints vacuous → solvable.
+        assert solution is not None
+
+
+SMALL_PROBLEMS = [
+    maximal_matching_problem(2),
+    sinkless_orientation_problem(2),
+    problem_from_lines(["M M"], ["M O"], name="forced"),
+    problem_from_lines(["A A", "B B"], ["A B"], name="alt"),
+    problem_from_lines(["A B", "B B"], ["A A", "A B", "B B"], name="loose"),
+]
+
+
+class TestCSPAgainstBruteForce:
+    @pytest.mark.parametrize("problem", SMALL_PROBLEMS, ids=lambda p: p.name)
+    @pytest.mark.parametrize("n", [4, 6])
+    def test_solvability_agrees_on_cycles(self, problem, n):
+        graph = mark_bipartition(cycle(n))
+        assert bipartite_solvable(graph, problem) == brute_force_solvable(
+            graph, problem
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=3), st.randoms(use_true_random=False))
+    def test_solvability_agrees_on_random_trees(self, half, rng):
+        """Random small bipartite graphs: CSP == brute force."""
+        graph = nx.Graph()
+        whites = [("w", i) for i in range(half)]
+        blacks = [("b", i) for i in range(half)]
+        graph.add_nodes_from(whites, color="white")
+        graph.add_nodes_from(blacks, color="black")
+        for w in whites:
+            for b in blacks:
+                if rng.random() < 0.7:
+                    graph.add_edge(w, b)
+        problem = maximal_matching_problem(2)
+        if graph.number_of_edges() == 0:
+            return
+        assert bipartite_solvable(graph, problem) == brute_force_solvable(
+            graph, problem
+        )
+
+
+class TestSSolutions:
+    def test_s_solution_ignores_outside(self):
+        """Constraints outside S don't block an S-solution."""
+        graph = cycle(5)  # odd cycle, plain graph
+        problem = problem_from_lines(
+            ["{1} {1}", "{2} {2}"], ["{1} {2}", "X {1}", "X {2}", "X X"]
+        )
+        # Proper 2-coloring-ish on all of C5 is impossible (odd cycle),
+        # but on a 4-node S it is fine.
+        s_small = set(list(sorted(graph.nodes))[:4])
+        assert solve_s_solution(graph, problem, s_small) is not None
+
+    def test_full_s_equals_non_bipartite(self):
+        graph = cycle(5)
+        problem = problem_from_lines(
+            ["{1} {1}", "{2} {2}"], ["{1} {2}", "X {1}", "X {2}", "X X"]
+        )
+        full = solve_s_solution(graph, problem, set(graph.nodes))
+        assert (full is not None) == non_bipartite_solvable(graph, problem)
+        assert full is None  # odd cycle: 2-coloring impossible
