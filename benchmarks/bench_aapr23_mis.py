@@ -1,40 +1,41 @@
 """AAPR23 — §1.1: MIS in χ_G rounds is optimal (the [AAPR23] answer).
 
 Regenerates the χ_G-round Supported LOCAL MIS algorithm on certified
-support graphs (measured rounds = number of coloring classes) next to the
+support graphs (measured rounds vs the coloring class count) next to the
 Theorem 1.7 instantiation Δ = Δ′logΔ′, Δ′ = log n/log log n whose lower
 bound Ω(log n / log log n) matches the chromatic number Θ(Δ/log Δ) —
-negatively answering [AAPR23]'s open question.
+negatively answering [AAPR23]'s open question.  Thin wrapper over the
+``mis`` suite of the experiments registry.
 """
 
-from repro.algorithms import supported_mis_by_coloring
-from repro.checkers import check_mis
-from repro.core.bounds import aapr23_mis_parameters
-from repro.graphs import analyze_support_graph, cage
+from repro.experiments import execute_scenario, get_scenario, get_suite
 from repro.utils.tables import print_table
+
+CAGES = ("petersen", "heawood", "pappus", "mcgee", "tutte_coxeter")
 
 
 def test_aapr23_mis_rounds(benchmark):
     def run():
         rows = []
-        for name in ("petersen", "heawood", "pappus", "mcgee", "tutte_coxeter"):
-            graph, _degree, _girth = cage(name)
-            report = analyze_support_graph(graph)
-            mis, rounds = supported_mis_by_coloring(graph)
-            assert check_mis(graph, mis)
-            rows.append(
-                (name, report.n, report.chromatic_number, rounds, len(mis))
-            )
+        for name in CAGES:
+            scenario = get_scenario("mis", f"aapr23-{name}")
+            record = execute_scenario(scenario).records[0]
+            rows.append((name, record))
         return rows
 
     rows = benchmark(run)
-    for name, _n, chromatic, rounds, _size in rows:
-        # The χ_G-round algorithm: measured rounds within the greedy
-        # coloring's class count, which is ≥ χ_G.
-        assert rounds >= chromatic - 1, name
+    for name, record in rows:
+        assert record["valid"], name  # a real MIS…
+        # …computed by the χ_G-round algorithm: measured rounds within the
+        # greedy coloring's class count, which is ≥ χ_G.
+        assert record["rounds_at_least_chi_minus_1"], name
     print_table(
         ["support graph", "n", "χ_G", "measured MIS rounds", "|MIS|"],
-        rows,
+        [
+            (name, record["n"], record["chromatic_number"],
+             record["rounds"], record["mis_size"])
+            for name, record in rows
+        ],
         title="AAPR23: the χ_G-round Supported LOCAL MIS (upper bound)",
     )
 
@@ -42,15 +43,25 @@ def test_aapr23_mis_rounds(benchmark):
 def test_aapr23_lower_bound_instantiation():
     """The §1.1 parameter choice makes the Theorem 1.7 bound match the
     χ_G upper bound up to constants: Ω(log n / log log n)."""
-    rows = []
-    for exponent in (16, 24, 32, 48):
-        n = 2**exponent
-        delta, delta_prime, bound = aapr23_mis_parameters(n)
-        rows.append((f"2^{exponent}", delta, delta_prime, round(bound, 2)))
-    values = [row[3] for row in rows]
+    scenario = get_scenario("mis", "aapr23-parameters")
+    records = execute_scenario(scenario).records
+    values = [record["bound"] for record in records]
     assert values == sorted(values)  # grows with n
     print_table(
         ["n", "Δ = Δ'logΔ'", "Δ' = logn/loglogn", "bound Ω(logn/loglogn)"],
-        rows,
+        [
+            (f"2^{record['log2_n']}", record["delta"], record["delta_prime"],
+             record["bound"])
+            for record in records
+        ],
         title="AAPR23: Theorem 1.7 instantiation answering the open question",
     )
+
+
+def test_aapr23_luby_baseline():
+    """The randomized baseline: every seeded Luby run yields a valid MIS."""
+    for scenario in get_suite("mis"):
+        if scenario.pipeline != "mis_luby":
+            continue
+        result = execute_scenario(scenario)
+        assert result.ok, scenario.name

@@ -4,58 +4,43 @@ Regenerates the [BO20] sequence step mechanically: RE(Π_Δ(x,y)) is
 computed with the Appendix B operators and Π_Δ(x+y,y) is certified as a
 relaxation.  Reproduction finding (documented in EXPERIMENTS.md): the
 steps need the paper's *general* per-configuration relaxation notion —
-no label-to-label map witnesses them.
+no label-to-label map witnesses them.  Thin wrapper over the ``matching``
+suite scenarios ``lem45-steps-*`` and ``cor46-full-sequence``.
 """
 
-from repro.formalism.relaxations import (
-    find_config_map_relaxation,
-    find_label_relaxation,
-    is_relaxation_via_config_map,
-)
-from repro.problems import matching_sequence_problems, pi_matching
-from repro.roundelim import LowerBoundSequence, compress_labels, round_elimination
+from repro.experiments import execute_scenario, get_scenario
 from repro.utils.tables import print_table
 
 
 def verify_steps():
-    rows = []
-    for delta, x, y in [(3, 0, 1), (4, 0, 1), (4, 1, 1)]:
-        source, _ = compress_labels(round_elimination(pi_matching(delta, x, y)))
-        target = pi_matching(delta, x + y, y)
-        label_map = find_label_relaxation(source, target)
-        config_map = find_config_map_relaxation(source, target)
-        verified = config_map is not None and is_relaxation_via_config_map(
-            source, target, config_map
-        )
-        rows.append(
-            (
-                f"RE(Π_{delta}({x},{y})) → Π_{delta}({x + y},{y})",
-                label_map is not None,
-                verified,
-                len(source.alphabet),
-            )
-        )
-    return rows
+    records = []
+    for name in ("lem45-steps-x0", "lem45-steps-x1"):
+        records.extend(execute_scenario(get_scenario("matching", name)).records)
+    return records
 
 
 def test_lem45_sequence_steps(benchmark):
-    rows = benchmark(verify_steps)
-    for name, has_label_map, verified, _size in rows:
-        assert verified, name
-        assert not has_label_map, name  # the general notion is necessary
+    records = benchmark(verify_steps)
+    for record in records:
+        step = (f"RE(Π_{record['delta']}({record['x']},{record['y']})) → "
+                f"Π_{record['delta']}({record['x'] + record['y']},{record['y']})")
+        assert record["config_map_witness"], step
+        assert not record["label_map_witness"], step  # the general notion is necessary
     print_table(
         ["step", "label-map witness", "config-map witness (paper's notion)", "|Σ(RE)|"],
-        rows,
+        [
+            (f"RE(Π_{r['delta']}({r['x']},{r['y']})) → "
+             f"Π_{r['delta']}({r['x'] + r['y']},{r['y']})",
+             r["label_map_witness"], r["config_map_witness"],
+             r["re_alphabet_size"])
+            for r in records
+        ],
         title="LEM45: matching sequence steps, mechanically certified",
     )
 
 
 def test_cor46_full_sequence(benchmark):
-    def run():
-        problems = matching_sequence_problems(4, 0, 1, steps=2)
-        return LowerBoundSequence(problems=tuple(problems)).verify()
-
-    witnesses = benchmark(run)
-    assert len(witnesses) == 2
-    assert all(w.config_map is not None or w.relaxation_map is not None
-               for w in witnesses)
+    scenario = get_scenario("matching", "cor46-full-sequence")
+    record = benchmark(lambda: execute_scenario(scenario).records[0])
+    assert record["witnesses"] == record["steps"] == 2
+    assert record["valid"]

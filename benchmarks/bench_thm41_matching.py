@@ -4,49 +4,38 @@ Regenerates, per parameter row: the k = ⌊(Δ′−x)/y⌋−2 sequence length,
 paper bound vs the measured proposal-algorithm rounds (the shape claim:
 both Θ(Δ′) for fixed x, y), the §4.2 contradiction-region arithmetic
 (Lemmas 4.8 vs 4.9), and a concrete lift refutation on a small support.
+
+The sweep itself is a thin wrapper over the experiments registry
+(``matching`` suite, scenario ``thm41-proposal-sweep``): graph
+construction, round measurement and validity checking live in
+:mod:`repro.experiments.pipelines`.
 """
 
-import networkx as nx
-
-from repro.algorithms import bipartite_maximal_matching
 from repro.analysis import contradiction_region
-from repro.core.bounds import matching_sequence_length, theorem_41_bound
-from repro.graphs import bipartite_double_cover, cage
+from repro.experiments import execute_scenario, get_scenario
 from repro.problems import pi_matching_endpoint
 from repro.solvers import lift_solvable_bipartite
 from repro.utils.tables import print_table
 
 
 def sweep():
-    support, degree, _girth = cage("tutte_coxeter")
-    cover = bipartite_double_cover(support)
-    rows = []
-    for delta_prime in (1, 2, 3):
-        degrees = {node: 0 for node in cover.nodes}
-        chosen = set()
-        for edge in sorted(cover.edges, key=str):
-            u, v = edge
-            if degrees[u] < delta_prime and degrees[v] < delta_prime:
-                chosen.add(frozenset(edge))
-                degrees[u] += 1
-                degrees[v] += 1
-        _matching, rounds = bipartite_maximal_matching(cover, frozenset(chosen))
-        k = matching_sequence_length(delta_prime, 0, 1)
-        bound = theorem_41_bound(
-            delta=50, delta_prime=delta_prime * 10, x=0, y=1, n=10**12
-        )
-        rows.append((delta_prime, k, rounds, round(bound.deterministic, 1)))
-    return rows
+    scenario = get_scenario("matching", "thm41-proposal-sweep")
+    return execute_scenario(scenario).records
 
 
 def test_thm41_shape(benchmark):
-    rows = benchmark(sweep)
-    measured = [row[2] for row in rows]
+    records = benchmark(sweep)
+    assert all(record["valid"] for record in records)
+    measured = [record["rounds"] for record in records]
     assert measured == sorted(measured)  # rounds grow with Δ′ (the shape)
     print_table(
         ["Δ' (measured)", "k = ⌊(Δ'−x)/y⌋−2", "measured rounds (upper bound)",
          "paper bound at 10Δ', n=10^12"],
-        rows,
+        [
+            (record["delta_prime"], record["sequence_length_k"],
+             record["rounds"], record["paper_bound_deterministic"])
+            for record in records
+        ],
         title="THM41: matching — measured upper vs paper lower, both Θ(Δ')",
     )
 

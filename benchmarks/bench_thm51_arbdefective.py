@@ -1,6 +1,7 @@
 """THM51 — Theorem 5.1 / 1.6: arbdefective coloring lower bound.
 
-Regenerates the three mechanical pillars of §5:
+Regenerates the three mechanical pillars of §5 via the ``arbdefective``
+suite of the experiments registry:
 
 1. Lemma 5.4: RE(Π_Δ(k)) ≅ Π_Δ(k) — the fixed point, run literally;
 2. Corollary 5.8: lift_{Δ,2}(Π_Δ'(k)) refuted on a certified support graph
@@ -9,88 +10,59 @@ Regenerates the three mechanical pillars of §5:
    executed on an honest solution.
 """
 
-from repro.analysis import extract_coloring, extract_family_solution, palette_size
-from repro.algorithms import class_sweep_arbdefective_coloring, class_sweep_coloring
-from repro.checkers import check_proper_coloring
-from repro.core.bounds import theorem_51_applicable, theorem_51_bound
-from repro.formalism.diagrams import black_diagram, right_closure
-from repro.graphs import analyze_support_graph, cage
-from repro.problems import arbdefective_to_family_labels, pi_arbdefective
-from repro.roundelim import is_fixed_point
-from repro.solvers import lift_solvable_non_bipartite
+from repro.experiments import execute_scenario, get_scenario
 from repro.utils.tables import print_table
 
 
 def test_thm51_fixed_points(benchmark):
     def run():
-        return [
-            (delta, k, is_fixed_point(pi_arbdefective(delta, k)))
-            for delta, k in [(2, 2), (3, 2), (4, 2), (3, 3)]
-        ]
+        records = []
+        for name in ("thm51-fixed-points-k2", "thm51-fixed-points-k3"):
+            records.extend(execute_scenario(get_scenario("arbdefective", name)).records)
+        return records
 
-    rows = benchmark(run)
-    assert all(flag for _d, _k, flag in rows)
+    records = benchmark(run)
+    assert all(record["fixed_point"] for record in records)
     print_table(
         ["Δ", "k", "RE(Π_Δ(k)) ≅ Π_Δ(k)"],
-        rows,
+        [(r["delta"], r["k"], r["fixed_point"]) for r in records],
         title="THM51: Lemma 5.4 fixed points, verified mechanically",
     )
 
 
 def test_thm51_lift_refutation(benchmark):
-    def run():
-        support, _degree, _girth = cage("petersen")
-        report = analyze_support_graph(support)
-        solvable, _sol, _lifted = lift_solvable_non_bipartite(
-            support, pi_arbdefective(2, 1), delta=3, rank=2
-        )
-        return report, solvable
-
-    report, solvable = benchmark(run)
+    scenario = get_scenario("arbdefective", "thm51-lift-refutation")
+    record = benchmark(lambda: execute_scenario(scenario).records[0])
     # 2k = 2 < χ(Petersen) = 3 → Corollary 5.8's refutation must hold.
-    assert report.chromatic_number == 3
-    assert not solvable
+    assert record["chromatic_number"] == 3
+    assert not record["lift_solvable"]
+    assert record["valid"]
     print_table(
         ["quantity", "value"],
         [
-            ("support", f"Petersen (χ = {report.chromatic_number}, girth {report.girth})"),
+            ("support", f"Petersen (χ = {record['chromatic_number']}, "
+                        f"girth {record['girth']})"),
             ("problem", "Π_2(1), 2k = 2 colors extractable"),
-            ("lift solvable", solvable),
-            ("paper bound Ω(log_Δ n) at Δ=8, n=10^9", round(
-                theorem_51_bound(8, 10**9).deterministic, 2)),
-            ("applicability (α+1)c ≤ min{Δ',εΔ/logΔ}", theorem_51_applicable(
-                delta=100, delta_prime=10, alpha=0, colors=2)),
+            ("lift solvable", record["lift_solvable"]),
+            ("paper bound Ω(log_Δ n) at Δ=8, n=10^9", record["paper_bound"]),
+            ("applicability (α+1)c ≤ min{Δ',εΔ/logΔ}", record["applicable"]),
         ],
         title="THM51: Corollary 5.8 refutation on a certified support graph",
     )
 
 
 def test_thm51_extraction_pipeline(benchmark):
-    def run():
-        graph, _d, _g = cage("petersen")
-        base = class_sweep_coloring(graph)[0]
-        color_of, orientation, alpha, _rounds = class_sweep_arbdefective_coloring(
-            graph, {n: c + 1 for n, c in base.items()}, 2
-        )
-        k = (alpha + 1) * 2
-        labels = arbdefective_to_family_labels(graph, color_of, orientation, alpha)
-        diagram = black_diagram(pi_arbdefective(3, k))
-        sets = {key: right_closure(diagram, [lab]) for key, lab in labels.items()}
-        s_nodes = set(graph.nodes)
-        family = extract_family_solution(graph, s_nodes, sets, k)
-        coloring = extract_coloring(graph, s_nodes, family)
-        return graph, coloring, k
-
-    graph, coloring, k = benchmark(run)
-    assert check_proper_coloring(graph, coloring)
-    assert palette_size(coloring) <= 2 * k
+    scenario = get_scenario("arbdefective", "thm51-extraction")
+    record = benchmark(lambda: execute_scenario(scenario).records[0])
+    assert record["proper"]
+    assert record["palette"] <= record["palette_cap"]
     print_table(
         ["quantity", "value"],
         [
-            ("k (family colors)", k),
-            ("palette used by Lemma 5.10 extraction", palette_size(coloring)),
-            ("paper cap 2k", 2 * k),
-            ("extracted coloring proper", True),
+            ("k (family colors)", record["k"]),
+            ("palette used by Lemma 5.10 extraction", record["palette"]),
+            ("paper cap 2k", record["palette_cap"]),
+            ("extracted coloring proper", record["proper"]),
         ],
         title="THM51: Lemmas 5.9 + 5.10 extraction, executed",
     )

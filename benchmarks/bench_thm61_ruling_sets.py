@@ -1,77 +1,48 @@
 """THM61 — Theorem 6.1 / 1.7: arbdefective colored ruling set lower bound.
 
-Regenerates: the Π_Δ(c,β) construction with its Figure 2 diagram, the
-Lemma 6.6 peeling executed on a real solution (type classification,
-|S′| ≥ |S|/4 certificate, P_β/U_β elimination), and the bound formula's
-β-tradeoff series (Lemma 6.4 sequence lengths vs the closed form).
+Regenerates: the Lemma 6.6 peeling executed on a real solution (type
+classification, |S′| ≥ |S|/4 certificate, P_β/U_β elimination) and the
+bound formula's β-tradeoff series (Lemma 6.4 sequence lengths vs the
+closed form).  Both are thin wrappers over the ``ruling_sets`` suite of
+the experiments registry.
 """
 
-from repro.algorithms import ruling_set_by_class_sweep
-from repro.analysis import classify_types, peel_once
-from repro.core.bounds import lemma_64_sequence_length, theorem_61_bound
-from repro.formalism.diagrams import black_diagram, right_closure
-from repro.graphs import cage
-from repro.problems import pi_ruling, ruling_set_to_family_labels
+from repro.experiments import execute_scenario, get_scenario
 from repro.utils.tables import print_table
 
 
 def test_thm61_bound_series(benchmark):
-    def run():
-        rows = []
-        for beta in (1, 2, 3, 4):
-            bound = theorem_61_bound(
-                delta=10**5, delta_prime=256, alpha=0, colors=1,
-                beta=beta, n=10**300,
-            )
-            t = lemma_64_sequence_length(
-                delta=10**5, alpha=0, colors=1, k=256, beta=beta, epsilon=1.0
-            )
-            rows.append((beta, round(bound.deterministic, 1), t))
-        return rows
-
-    rows = benchmark(run)
-    dets = [det for _beta, det, _t in rows]
+    scenario = get_scenario("ruling_sets", "thm61-bound-series")
+    records = benchmark(lambda: execute_scenario(scenario).records)
+    dets = [record["bound_deterministic"] for record in records]
     assert dets == sorted(dets, reverse=True)  # β(Δ̄)^{1/β} decreases here
     print_table(
         ["β", "Theorem 6.1 deterministic bound", "Lemma 6.4 sequence length t"],
-        rows,
+        [
+            (record["beta"], record["bound_deterministic"],
+             record["sequence_length_t"])
+            for record in records
+        ],
         title="THM61: the β tradeoff series (Δ̄ = 256, (α+1)c = 1)",
     )
 
 
 def test_thm61_peeling_execution(benchmark):
-    def run():
-        graph, _d, _g = cage("tutte_coxeter")
-        beta = 2
-        selected, _rounds = ruling_set_by_class_sweep(graph, beta=beta)
-        labels = ruling_set_to_family_labels(
-            graph, selected, {node: 1 for node in selected}, set(), alpha=0,
-            beta=beta,
-        )
-        diagram = black_diagram(pi_ruling(3, 1, beta))
-        sets = {key: right_closure(diagram, [lab]) for key, lab in labels.items()}
-        s_nodes = set(graph.nodes)
-        types = classify_types(graph, s_nodes, sets, 3, 1, beta)
-        result = peel_once(graph, s_nodes, sets, delta=3, delta_prime=1, k=1,
-                           beta=beta)
-        return graph, s_nodes, types, result
-
-    graph, s_nodes, (type1, type2, type3, untouched), result = benchmark(run)
-    assert type1 | type2 | type3 | untouched == s_nodes
-    assert result.fraction_ok
-    assert len(result.s_prime) >= len(s_nodes) / 4
-    for node in result.s_prime:
-        for neighbor in graph.neighbors(node):
-            assert "P2" not in result.assignment[(node, neighbor)]
-            assert "U2" not in result.assignment[(node, neighbor)]
+    scenario = get_scenario("ruling_sets", "thm61-peeling")
+    record = benchmark(lambda: execute_scenario(scenario).records[0])
+    assert record["valid"]
+    assert record["types_partition_s"]  # types partition S (union + counts)
+    assert record["quarter_certificate"]
+    assert record["pointers_eliminated"]
+    type1, type2, type3, untouched = record["types"]
     print_table(
         ["quantity", "value"],
         [
             ("support", "Tutte–Coxeter (n=30, Δ=3, girth 8)"),
-            ("|S| before peel", len(s_nodes)),
-            ("type 1 / 2 / 3 / untouched", f"{len(type1)}/{len(type2)}/{len(type3)}/{len(untouched)}"),
-            ("|S'| after peel (≥ |S|/4)", len(result.s_prime)),
-            ("P_β, U_β eliminated on S'", True),
+            ("|S| before peel", record["n"]),
+            ("type 1 / 2 / 3 / untouched", f"{type1}/{type2}/{type3}/{untouched}"),
+            ("|S'| after peel (≥ |S|/4)", record["s_prime_size"]),
+            ("P_β, U_β eliminated on S'", record["pointers_eliminated"]),
         ],
         title="THM61: one Lemma 6.6 peeling step, executed",
     )

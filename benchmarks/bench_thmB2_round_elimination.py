@@ -3,59 +3,30 @@
 Regenerates the T = 1 → 0 step: a certified 1-round white algorithm for
 MM_2 on a girth-8 support cycle is transformed into the 0-round black
 algorithm for R(MM_2), whose outputs are validated against R's constraints
-on every admissible input graph (2^8 of them).
+on every admissible input graph (2^8 of them).  Thin wrapper over the
+``round_elimination`` suite scenario ``thmb2-speedup``.
 """
 
-from repro.core import (
-    algorithm_from_lift_solution,
-    admissible_subgraphs,
-    derive_zero_round_black_algorithm,
-    is_correct_one_round,
-    lift,
-)
-from repro.core.speedup import check_against_R_problem
-from repro.formalism.labels import set_label_members
-from repro.graphs import cycle, mark_bipartition
-from repro.problems import maximal_matching_problem
-from repro.roundelim import apply_R
-from repro.solvers import solve_bipartite
+from repro.experiments import execute_scenario, get_scenario
 from repro.utils.tables import print_table
 
 
 def run_speedup():
-    graph = mark_bipartition(cycle(8))
-    problem = maximal_matching_problem(2)
-    lifted = lift(problem, 2, 2)
-    solution = solve_bipartite(graph, lifted.to_problem())
-    decoded = {edge: set_label_members(label) for edge, label in solution.items()}
-    zero_round = algorithm_from_lift_solution(graph, lifted, decoded)
-
-    def one_round_rule(node, own_inputs, view):
-        return zero_round.run(node, frozenset(own_inputs))
-
-    assert is_correct_one_round(graph, one_round_rule, problem, edge_limit=8)
-    r_problem = apply_R(problem)
-    checked = passed = 0
-    for input_edges in admissible_subgraphs(graph, 2, 2, edge_limit=8):
-        derived = derive_zero_round_black_algorithm(
-            graph, one_round_rule, problem, input_edges, edge_limit=8
-        )
-        checked += 1
-        if check_against_R_problem(derived, graph, r_problem, input_edges):
-            passed += 1
-    return checked, passed, r_problem
+    scenario = get_scenario("round_elimination", "thmb2-speedup")
+    return execute_scenario(scenario).records[0]
 
 
 def test_thmB2_speedup(benchmark):
-    checked, passed, r_problem = benchmark(run_speedup)
-    assert checked == passed == 2**8
+    record = benchmark(run_speedup)
+    assert record["one_round_certified"]
+    assert record["input_graphs_checked"] == record["r_problem_satisfied"] == 2**8
     print_table(
         ["quantity", "value"],
         [
             ("support graph", "C8 (girth 8 ≥ 2T+4)"),
-            ("input graphs exhaustively checked", checked),
-            ("R(MM_2) satisfied on all of them", passed),
-            ("R(MM_2) alphabet", sorted(r_problem.alphabet)),
+            ("input graphs exhaustively checked", record["input_graphs_checked"]),
+            ("R(MM_2) satisfied on all of them", record["r_problem_satisfied"]),
+            ("R(MM_2) alphabet", record["r_alphabet"]),
         ],
         title="THMB2: Lemma B.1 speedup step, exhaustively validated",
     )

@@ -3,58 +3,39 @@
 Theorem 4.1 says x-maximal y-matching needs Ω(min{(Δ′−x)/y, log_Δ n})
 rounds even with the support graph known in advance; the proposal
 algorithm gives the matching O(Δ′) upper bound.  This example runs the
-distributed proposal algorithm on double covers of certified high-girth
-graphs for a sweep of input degrees Δ′ and prints measured rounds next to
-the paper's bound — the linear-in-Δ′ *shape* is the reproduced claim.
+``thm41-proposal-sweep`` scenario from the experiments registry (the
+distributed proposal algorithm on the double cover of Tutte–Coxeter for
+a sweep of input degrees Δ′) and prints measured rounds next to the
+paper's bound — the linear-in-Δ′ *shape* is the reproduced claim.
 
 Run:  python examples/simulate_matching.py
+(For the full suite: python -m repro.experiments run --suite matching)
 """
 
-import networkx as nx
-
-from repro.algorithms import bipartite_maximal_matching
-from repro.checkers import check_maximal_matching
-from repro.core.bounds import matching_sequence_length
-from repro.graphs import bipartite_double_cover, cage
+from repro.experiments import execute_scenario, get_scenario
 from repro.utils.tables import print_table
 
 
-def input_subgraph_of_degree(cover: nx.Graph, delta_prime: int) -> frozenset:
-    """A spanning subgraph of the cover with max degree ≈ Δ′ (greedy)."""
-    degrees = {node: 0 for node in cover.nodes}
-    chosen = set()
-    for edge in sorted(cover.edges, key=str):
-        u, v = edge
-        if degrees[u] < delta_prime and degrees[v] < delta_prime:
-            chosen.add(frozenset(edge))
-            degrees[u] += 1
-            degrees[v] += 1
-    return frozenset(chosen)
-
-
 def main() -> None:
-    support, degree, _girth = cage("tutte_coxeter")
-    cover = bipartite_double_cover(support)
-    print(f"support: double cover of Tutte–Coxeter, n={cover.number_of_nodes()}, "
-          f"Δ={degree}")
+    scenario = get_scenario("matching", "thm41-proposal-sweep")
+    print(f"scenario: {scenario.name} on {scenario.family}, Δ' sweep "
+          f"{list(scenario.sizes)}")
 
-    rows = []
-    for delta_prime in range(1, degree + 1):
-        input_edges = input_subgraph_of_degree(cover, delta_prime)
-        matching, rounds = bipartite_maximal_matching(cover, input_edges)
-        input_graph = nx.Graph(tuple(edge) for edge in input_edges)
-        valid = bool(check_maximal_matching(input_graph, matching))
-        k = matching_sequence_length(delta_prime, x=0, y=1)
-        rows.append((delta_prime, len(input_edges), rounds, k, valid))
-
+    result = execute_scenario(scenario)
     print_table(
-        ["Δ'", "input edges", "measured rounds (upper)", "sequence length k (lower-bound driver)", "valid"],
-        rows,
+        ["Δ'", "input edges", "measured rounds (upper)",
+         "sequence length k (lower-bound driver)", "valid"],
+        [
+            (record["delta_prime"], record["input_edges"], record["rounds"],
+             record["sequence_length_k"], record["valid"])
+            for record in result.records
+        ],
         title="\nmaximal matching: measured rounds vs Δ' (paper: both sides Θ(Δ'))",
     )
     print(
         "\nShape check: measured rounds grow linearly in Δ' (2Δ' by "
         "construction), matching the Ω((Δ'−x)/y) lower bound driver k."
+        f"\n(whole scenario measured in {result.wall_seconds:.3f}s wall-clock)"
     )
 
 

@@ -1,8 +1,10 @@
 """Legacy setup shim.
 
-The offline environment lacks the ``wheel`` package, which PEP 660 editable
-installs require; this shim lets ``pip install -e .`` fall back to
-``setup.py develop``.  All metadata lives in ``pyproject.toml``.
+All metadata and dependencies live in ``pyproject.toml`` ([project] table);
+``pip install -e .`` uses them directly in CI.  This shim exists for
+offline environments lacking the ``wheel`` package (which setuptools'
+PEP 660 editable builds require): there, ``python setup.py develop``
+still works.
 """
 
 from setuptools import setup

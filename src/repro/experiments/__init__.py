@@ -1,0 +1,44 @@
+"""Declarative experiment harness: scenarios, suites, runner, CLI.
+
+Replaces the copy-pasted boilerplate of ``benchmarks/bench_*.py`` with a
+single registry of named scenario suites (``repro.experiments.registry``),
+measurement pipelines (``repro.experiments.pipelines``) and a serial /
+multiprocessing runner with canonical JSON output.  Entry point:
+``python -m repro.experiments``.
+"""
+
+from repro.experiments.pipelines import (
+    PIPELINES,
+    resolve_family,
+    resolve_pipeline,
+)
+from repro.experiments.registry import (
+    SUITES,
+    get_scenario,
+    get_suite,
+    suite_names,
+)
+from repro.experiments.runner import Runner, SuiteResult, execute_scenario
+from repro.experiments.scenarios import (
+    CHECKERS,
+    RESULT_SCHEMA,
+    Scenario,
+    ScenarioResult,
+)
+
+__all__ = [
+    "CHECKERS",
+    "PIPELINES",
+    "RESULT_SCHEMA",
+    "Runner",
+    "SUITES",
+    "Scenario",
+    "ScenarioResult",
+    "SuiteResult",
+    "execute_scenario",
+    "get_scenario",
+    "get_suite",
+    "resolve_family",
+    "resolve_pipeline",
+    "suite_names",
+]

@@ -1,0 +1,596 @@
+"""Measurement pipelines: the bodies behind scenario `pipeline` keys.
+
+Each pipeline takes a resolved :class:`~repro.experiments.scenarios.Scenario`
+plus that scenario's private RNG and returns a list of *records* — plain
+dicts of deterministic, JSON-ready observations.  Everything the old
+``benchmarks/bench_*.py`` scripts hand-rolled (graph generation, input
+subgraph construction, round measurement, checker invocation, paper-bound
+arithmetic) lives here once, so benchmarks, examples, the CLI and CI all
+exercise the same code paths.
+
+Determinism contract: a record may depend only on the scenario definition
+and the supplied RNG — never on wall-clock, process identity or execution
+order.  Wall-clock timing is measured by the runner *around* a pipeline
+(see :func:`repro.local.measurement.timed`), kept out of the records so
+serial and parallel runs serialize identically.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from collections.abc import Callable
+
+import networkx as nx
+
+from repro.algorithms import (
+    bipartite_maximal_matching,
+    class_sweep_arbdefective_coloring,
+    class_sweep_coloring,
+    luby_mis,
+    ruling_set_by_class_sweep,
+    supported_mis_by_coloring,
+)
+from repro.checkers import check_maximal_matching
+from repro.analysis import (
+    classify_types,
+    extract_coloring,
+    extract_family_solution,
+    palette_size,
+    peel_once,
+)
+from repro.core import (
+    admissible_subgraphs,
+    algorithm_from_lift_solution,
+    derive_zero_round_black_algorithm,
+    is_correct_one_round,
+    lift,
+)
+from repro.core.bounds import (
+    aapr23_mis_parameters,
+    lemma_64_sequence_length,
+    matching_sequence_length,
+    theorem_41_bound,
+    theorem_51_applicable,
+    theorem_51_bound,
+    theorem_61_bound,
+)
+from repro.core.speedup import check_against_R_problem
+from repro.experiments.scenarios import Scenario
+from repro.formalism.diagrams import black_diagram, right_closure
+from repro.formalism.labels import set_label_members
+from repro.formalism.relaxations import (
+    find_config_map_relaxation,
+    find_label_relaxation,
+    is_relaxation_via_config_map,
+)
+from repro.graphs import (
+    analyze_support_graph,
+    bipartite_double_cover,
+    cage,
+    cycle,
+    mark_bipartition,
+    random_regular_with_girth,
+)
+from repro.problems import (
+    arbdefective_to_family_labels,
+    matching_sequence_problems,
+    maximal_matching_problem,
+    pi_arbdefective,
+    pi_matching,
+    pi_ruling,
+    ruling_set_to_family_labels,
+)
+from repro.roundelim import (
+    LowerBoundSequence,
+    apply_R,
+    compress_labels,
+    is_fixed_point,
+    round_elimination,
+)
+from repro.solvers import lift_solvable_non_bipartite, solve_bipartite
+from repro.utils import InvalidParameterError
+
+#: Pipeline registry: key → callable(scenario, rng) -> list[dict].
+PIPELINES: dict[str, Callable[[Scenario, random.Random], list[dict]]] = {}
+
+
+def pipeline(name: str):
+    """Register a pipeline function under ``name``."""
+
+    def register(fn):
+        PIPELINES[name] = fn
+        return fn
+
+    return register
+
+
+def resolve_pipeline(name: str) -> Callable[[Scenario, random.Random], list[dict]]:
+    try:
+        return PIPELINES[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown pipeline {name!r}; known: {sorted(PIPELINES)}"
+        ) from None
+
+
+# --------------------------------------------------------------------------
+# Graph families
+# --------------------------------------------------------------------------
+
+
+def resolve_family(spec: str, rng: random.Random) -> nx.Graph:
+    """Build the graph named by a family spec.
+
+    Specs: ``cage:<name>``, ``double_cover:<cage>``, ``cycle:<n>``,
+    ``marked_cycle:<n>`` and ``random_regular:<degree>:<girth>:<n>``
+    (the only randomized family; it draws its seed from the scenario RNG).
+    """
+    kind, _, rest = spec.partition(":")
+    if kind == "cage":
+        graph, _degree, _girth = cage(rest)
+        return graph
+    if kind == "double_cover":
+        graph, _degree, _girth = cage(rest)
+        return bipartite_double_cover(graph)
+    if kind == "cycle":
+        return cycle(int(rest))
+    if kind == "marked_cycle":
+        return mark_bipartition(cycle(int(rest)))
+    if kind == "random_regular":
+        degree, girth, n = (int(part) for part in rest.split(":"))
+        certified = random_regular_with_girth(
+            n, degree, girth, seed=rng.randrange(2**31),
+            certify_independence=False,
+        )
+        return certified.graph
+    raise InvalidParameterError(f"unknown graph family spec {spec!r}")
+
+
+def _require_family(scenario: Scenario, rng: random.Random) -> nx.Graph:
+    if scenario.family is None:
+        raise InvalidParameterError(
+            f"pipeline {scenario.pipeline!r} needs a graph family "
+            f"(scenario {scenario.name!r} declares none)"
+        )
+    return resolve_family(scenario.family, rng)
+
+
+def input_subgraph_of_degree(cover: nx.Graph, delta_prime: int) -> frozenset:
+    """A spanning subgraph of ``cover`` with max degree ≈ Δ′ (greedy)."""
+    degrees = {node: 0 for node in cover.nodes}
+    chosen = set()
+    for edge in sorted(cover.edges, key=str):
+        u, v = edge
+        if degrees[u] < delta_prime and degrees[v] < delta_prime:
+            chosen.add(frozenset(edge))
+            degrees[u] += 1
+            degrees[v] += 1
+    return frozenset(chosen)
+
+
+def matching_to_labels(graph: nx.Graph, matching: set) -> dict:
+    """Appendix A translation: matched edges M; edges at an unmatched
+    white node P; remaining edges O."""
+    matched_nodes = {node for edge in matching for node in edge}
+    labeling = {}
+    for u, v in graph.edges:
+        edge = frozenset((u, v))
+        white = u if graph.nodes[u]["color"] == "white" else v
+        if edge in matching:
+            labeling[edge] = "M"
+        elif white not in matched_nodes:
+            labeling[edge] = "P"
+        else:
+            labeling[edge] = "O"
+    return labeling
+
+
+# --------------------------------------------------------------------------
+# Matching (Theorem 4.1 / Lemma 4.5 / Figure 3)
+# --------------------------------------------------------------------------
+
+
+@pipeline("matching_proposal_sweep")
+def matching_proposal_sweep(scenario: Scenario, rng: random.Random) -> list[dict]:
+    """Proposal-algorithm rounds vs the Theorem 4.1 bound, swept over Δ′."""
+    cover = _require_family(scenario, rng)
+    checker = scenario.resolve_checker()
+    records = []
+    for delta_prime in scenario.sizes:
+        input_edges = input_subgraph_of_degree(cover, delta_prime)
+        matching, rounds = bipartite_maximal_matching(cover, input_edges)
+        valid = True
+        if checker is not None:
+            input_graph = nx.Graph(tuple(edge) for edge in input_edges)
+            input_graph.add_nodes_from(cover.nodes)
+            valid = bool(checker(input_graph, matching))
+        bound = theorem_41_bound(
+            delta=50, delta_prime=delta_prime * 10, x=0, y=1, n=10**12
+        )
+        records.append(
+            {
+                "delta_prime": delta_prime,
+                "input_edges": len(input_edges),
+                "rounds": rounds,
+                "matching_size": len(matching),
+                "sequence_length_k": matching_sequence_length(delta_prime, 0, 1),
+                "paper_bound_deterministic": round(bound.deterministic, 1),
+                "valid": valid,
+            }
+        )
+    return records
+
+
+@pipeline("matching_labels_example")
+def matching_labels_example(scenario: Scenario, rng: random.Random) -> list[dict]:
+    """Figure 3: a maximal matching rendered as M/O/P formalism labels."""
+    cover = _require_family(scenario, rng)
+    degree = max(dict(cover.degree).values())
+    input_edges = frozenset(frozenset(edge) for edge in cover.edges)
+    matching, rounds = bipartite_maximal_matching(cover, input_edges)
+    # The labeling is derived from the matching, so labeling validity
+    # alone could mask a broken matching; check both independently.
+    matching_valid = bool(check_maximal_matching(cover, matching))
+    labeling = matching_to_labels(cover, matching)
+    checker = scenario.resolve_checker()
+    labeling_valid = True
+    if checker is not None:
+        labeling_valid = bool(
+            checker(cover, maximal_matching_problem(degree), labeling)
+        )
+    counts = Counter(labeling.values())
+    return [
+        {
+            "n": cover.number_of_nodes(),
+            "degree": degree,
+            "matching_size": len(matching),
+            "rounds": rounds,
+            "labels": {"M": counts["M"], "O": counts["O"], "P": counts["P"]},
+            "matching_valid": matching_valid,
+            "labeling_valid": labeling_valid,
+            "valid": matching_valid and labeling_valid,
+        }
+    ]
+
+
+@pipeline("matching_sequence_steps")
+def matching_sequence_steps(scenario: Scenario, rng: random.Random) -> list[dict]:
+    """Lemma 4.5 steps: RE(Π_Δ(x,y)) relaxes to Π_Δ(x+y,y), certified."""
+    x = scenario.option("x", 0)
+    y = scenario.option("y", 1)
+    records = []
+    for delta in scenario.sizes:
+        source, _ = compress_labels(round_elimination(pi_matching(delta, x, y)))
+        target = pi_matching(delta, x + y, y)
+        label_map = find_label_relaxation(source, target)
+        config_map = find_config_map_relaxation(source, target)
+        verified = config_map is not None and is_relaxation_via_config_map(
+            source, target, config_map
+        )
+        records.append(
+            {
+                "delta": delta,
+                "x": x,
+                "y": y,
+                "label_map_witness": label_map is not None,
+                "config_map_witness": verified,
+                "re_alphabet_size": len(source.alphabet),
+                "valid": verified,
+            }
+        )
+    return records
+
+
+@pipeline("matching_full_sequence")
+def matching_full_sequence(scenario: Scenario, rng: random.Random) -> list[dict]:
+    """Corollary 4.6: verify the whole lower-bound sequence mechanically."""
+    delta = scenario.option("delta", 4)
+    x = scenario.option("x", 0)
+    y = scenario.option("y", 1)
+    records = []
+    for steps in scenario.sizes:
+        problems = matching_sequence_problems(delta, x, y, steps=steps)
+        witnesses = LowerBoundSequence(problems=tuple(problems)).verify()
+        records.append(
+            {
+                "delta": delta,
+                "x": x,
+                "y": y,
+                "steps": steps,
+                "witnesses": len(witnesses),
+                "valid": len(witnesses) == steps
+                and all(
+                    w.config_map is not None or w.relaxation_map is not None
+                    for w in witnesses
+                ),
+            }
+        )
+    return records
+
+
+# --------------------------------------------------------------------------
+# Ruling sets (Theorem 6.1)
+# --------------------------------------------------------------------------
+
+
+@pipeline("ruling_bound_series")
+def ruling_bound_series(scenario: Scenario, rng: random.Random) -> list[dict]:
+    """Theorem 6.1's β-tradeoff series vs Lemma 6.4 sequence lengths."""
+    records = []
+    for beta in scenario.sizes:
+        bound = theorem_61_bound(
+            delta=10**5, delta_prime=256, alpha=0, colors=1, beta=beta, n=10**300
+        )
+        t = lemma_64_sequence_length(
+            delta=10**5, alpha=0, colors=1, k=256, beta=beta, epsilon=1.0
+        )
+        records.append(
+            {
+                "beta": beta,
+                "bound_deterministic": round(bound.deterministic, 1),
+                "sequence_length_t": t,
+            }
+        )
+    return records
+
+
+@pipeline("ruling_peeling")
+def ruling_peeling(scenario: Scenario, rng: random.Random) -> list[dict]:
+    """One Lemma 6.6 peeling step executed on a real ruling-set solution."""
+    graph = _require_family(scenario, rng)
+    beta = scenario.option("beta", 2)
+    delta = scenario.option("delta", 3)
+    selected, rounds = ruling_set_by_class_sweep(graph, beta=beta)
+    checker = scenario.resolve_checker()
+    valid = True
+    if checker is not None:
+        valid = bool(checker(graph, selected, beta=beta, independent=True))
+    labels = ruling_set_to_family_labels(
+        graph, selected, {node: 1 for node in selected}, set(), alpha=0, beta=beta
+    )
+    diagram = black_diagram(pi_ruling(delta, 1, beta))
+    sets = {key: right_closure(diagram, [lab]) for key, lab in labels.items()}
+    s_nodes = set(graph.nodes)
+    type1, type2, type3, untouched = classify_types(
+        graph, s_nodes, sets, delta, 1, beta
+    )
+    types_partition_s = (
+        (type1 | type2 | type3 | untouched) == s_nodes
+        and len(type1) + len(type2) + len(type3) + len(untouched) == len(s_nodes)
+    )
+    result = peel_once(
+        graph, s_nodes, sets, delta=delta, delta_prime=1, k=1, beta=beta
+    )
+    eliminated = all(
+        f"P{beta}" not in result.assignment[(node, neighbor)]
+        and f"U{beta}" not in result.assignment[(node, neighbor)]
+        for node in result.s_prime
+        for neighbor in graph.neighbors(node)
+    )
+    return [
+        {
+            "n": graph.number_of_nodes(),
+            "beta": beta,
+            "ruling_set_size": len(selected),
+            "rounds": rounds,
+            "types": [len(type1), len(type2), len(type3), len(untouched)],
+            "types_partition_s": types_partition_s,
+            "s_prime_size": len(result.s_prime),
+            "quarter_certificate": len(result.s_prime) >= len(s_nodes) / 4,
+            "fraction_ok": bool(result.fraction_ok),
+            "pointers_eliminated": eliminated,
+            "valid": valid
+            and types_partition_s
+            and bool(result.fraction_ok)
+            and eliminated
+            and len(result.s_prime) >= len(s_nodes) / 4,
+        }
+    ]
+
+
+# --------------------------------------------------------------------------
+# Arbdefective coloring (Theorem 5.1)
+# --------------------------------------------------------------------------
+
+
+@pipeline("arbdefective_fixed_points")
+def arbdefective_fixed_points(scenario: Scenario, rng: random.Random) -> list[dict]:
+    """Lemma 5.4: RE(Π_Δ(k)) ≅ Π_Δ(k), run literally over a Δ sweep."""
+    k = scenario.option("k", 2)
+    records = []
+    for delta in scenario.sizes:
+        fixed = is_fixed_point(pi_arbdefective(delta, k))
+        records.append({"delta": delta, "k": k, "fixed_point": fixed, "valid": fixed})
+    return records
+
+
+@pipeline("arbdefective_lift_refutation")
+def arbdefective_lift_refutation(scenario: Scenario, rng: random.Random) -> list[dict]:
+    """Corollary 5.8: the lift refuted on a support with χ > 2k."""
+    graph = _require_family(scenario, rng)
+    k = scenario.option("k", 1)
+    delta = scenario.option("delta", 3)
+    report = analyze_support_graph(graph)
+    solvable, _sol, _lifted = lift_solvable_non_bipartite(
+        graph, pi_arbdefective(2, k), delta=delta, rank=2
+    )
+    refuted = report.chromatic_number > 2 * k and not solvable
+    return [
+        {
+            "n": report.n,
+            "chromatic_number": report.chromatic_number,
+            "girth": report.girth,
+            "k": k,
+            "lift_solvable": bool(solvable),
+            "paper_bound": round(theorem_51_bound(8, 10**9).deterministic, 2),
+            "applicable": theorem_51_applicable(
+                delta=100, delta_prime=10, alpha=0, colors=2
+            ),
+            "valid": refuted,
+        }
+    ]
+
+
+@pipeline("arbdefective_extraction")
+def arbdefective_extraction(scenario: Scenario, rng: random.Random) -> list[dict]:
+    """Lemmas 5.9 + 5.10: Hall extraction and 2k-coloring, executed."""
+    graph = _require_family(scenario, rng)
+    delta = scenario.option("delta", 3)
+    base = class_sweep_coloring(graph)[0]
+    color_of, orientation, alpha, _rounds = class_sweep_arbdefective_coloring(
+        graph, {node: color + 1 for node, color in base.items()}, 2
+    )
+    k = (alpha + 1) * 2
+    labels = arbdefective_to_family_labels(graph, color_of, orientation, alpha)
+    diagram = black_diagram(pi_arbdefective(delta, k))
+    sets = {key: right_closure(diagram, [lab]) for key, lab in labels.items()}
+    s_nodes = set(graph.nodes)
+    family = extract_family_solution(graph, s_nodes, sets, k)
+    coloring = extract_coloring(graph, s_nodes, family)
+    checker = scenario.resolve_checker()
+    proper = True
+    if checker is not None:
+        proper = bool(checker(graph, coloring))
+    palette = palette_size(coloring)
+    return [
+        {
+            "n": graph.number_of_nodes(),
+            "k": k,
+            "palette": palette,
+            "palette_cap": 2 * k,
+            "proper": proper,
+            "valid": proper and palette <= 2 * k,
+        }
+    ]
+
+
+# --------------------------------------------------------------------------
+# MIS ([AAPR23], §1.1)
+# --------------------------------------------------------------------------
+
+
+@pipeline("mis_supported")
+def mis_supported(scenario: Scenario, rng: random.Random) -> list[dict]:
+    """The χ_G-round Supported LOCAL MIS on a certified support graph."""
+    graph = _require_family(scenario, rng)
+    report = analyze_support_graph(graph)
+    mis, rounds = supported_mis_by_coloring(graph)
+    checker = scenario.resolve_checker()
+    valid = True
+    if checker is not None:
+        valid = bool(checker(graph, mis))
+    return [
+        {
+            "n": report.n,
+            "chromatic_number": report.chromatic_number,
+            "rounds": rounds,
+            "mis_size": len(mis),
+            "rounds_at_least_chi_minus_1": rounds >= report.chromatic_number - 1,
+            "valid": valid and rounds >= report.chromatic_number - 1,
+        }
+    ]
+
+
+@pipeline("mis_luby")
+def mis_luby(scenario: Scenario, rng: random.Random) -> list[dict]:
+    """Luby's randomized MIS — exercises the seeded randomized path."""
+    graph = _require_family(scenario, rng)
+    checker = scenario.resolve_checker()
+    records = []
+    for _trial in range(scenario.option("trials", 1)):
+        seed = rng.randrange(2**31)
+        mis, rounds = luby_mis(graph, seed=seed)
+        valid = True
+        if checker is not None:
+            valid = bool(checker(graph, mis))
+        records.append(
+            {
+                "n": graph.number_of_nodes(),
+                "luby_seed": seed,
+                "mis_size": len(mis),
+                "rounds": rounds,
+                "valid": valid,
+            }
+        )
+    return records
+
+
+@pipeline("mis_parameters")
+def mis_parameters(scenario: Scenario, rng: random.Random) -> list[dict]:
+    """§1.1 instantiation: the Theorem 1.7 bound matching χ_G."""
+    records = []
+    for exponent in scenario.sizes:
+        delta, delta_prime, bound = aapr23_mis_parameters(2**exponent)
+        records.append(
+            {
+                "log2_n": exponent,
+                "delta": delta,
+                "delta_prime": delta_prime,
+                "bound": round(bound, 2),
+            }
+        )
+    return records
+
+
+# --------------------------------------------------------------------------
+# Round elimination (Appendix B)
+# --------------------------------------------------------------------------
+
+
+@pipeline("re_step_census")
+def re_step_census(scenario: Scenario, rng: random.Random) -> list[dict]:
+    """Alphabet/configuration growth of one RE step on MM_Δ."""
+    records = []
+    for delta in scenario.sizes:
+        problem = maximal_matching_problem(delta)
+        eliminated, _mapping = compress_labels(round_elimination(problem))
+        records.append(
+            {
+                "delta": delta,
+                "source_alphabet": len(problem.alphabet),
+                "re_alphabet": len(eliminated.alphabet),
+                "re_white_configs": len(eliminated.white),
+                "re_black_configs": len(eliminated.black),
+            }
+        )
+    return records
+
+
+@pipeline("speedup_b2")
+def speedup_b2(scenario: Scenario, rng: random.Random) -> list[dict]:
+    """Lemma B.1 / Theorem B.2: the T = 1 → 0 speedup step, exhaustively
+    validated on every admissible input graph of the support."""
+    graph = _require_family(scenario, rng)
+    edge_limit = scenario.option("edge_limit", 8)
+    problem = maximal_matching_problem(2)
+    lifted = lift(problem, 2, 2)
+    solution = solve_bipartite(graph, lifted.to_problem())
+    decoded = {edge: set_label_members(label) for edge, label in solution.items()}
+    zero_round = algorithm_from_lift_solution(graph, lifted, decoded)
+
+    def one_round_rule(node, own_inputs, view):
+        return zero_round.run(node, frozenset(own_inputs))
+
+    one_round_ok = is_correct_one_round(
+        graph, one_round_rule, problem, edge_limit=edge_limit
+    )
+    r_problem = apply_R(problem)
+    checked = passed = 0
+    for input_edges in admissible_subgraphs(graph, 2, 2, edge_limit=edge_limit):
+        derived = derive_zero_round_black_algorithm(
+            graph, one_round_rule, problem, input_edges, edge_limit=edge_limit
+        )
+        checked += 1
+        if check_against_R_problem(derived, graph, r_problem, input_edges):
+            passed += 1
+    return [
+        {
+            "n": graph.number_of_nodes(),
+            "one_round_certified": bool(one_round_ok),
+            "input_graphs_checked": checked,
+            "r_problem_satisfied": passed,
+            "r_alphabet": sorted(str(label) for label in r_problem.alphabet),
+            "valid": bool(one_round_ok) and checked == passed == 2**edge_limit,
+        }
+    ]

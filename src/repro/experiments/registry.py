@@ -1,0 +1,208 @@
+"""Named scenario suites covering the paper's experiment families.
+
+Suites group scenarios by paper section: ``matching`` (Theorem 4.1,
+Lemma 4.5, Figure 3), ``ruling_sets`` (Theorem 6.1), ``arbdefective``
+(Theorem 5.1), ``mis`` ([AAPR23], §1.1) and ``round_elimination``
+(Appendix B).  The ``smoke`` suite is the CI gate: a fast cross-section
+of every family sized to finish well under a minute.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scenarios import Scenario
+from repro.utils import InvalidParameterError
+
+SUITES: dict[str, tuple[Scenario, ...]] = {
+    "matching": (
+        Scenario.create(
+            "thm41-proposal-sweep",
+            pipeline="matching_proposal_sweep",
+            family="double_cover:tutte_coxeter",
+            sizes=(1, 2, 3),
+            checker="maximal_matching",
+        ),
+        Scenario.create(
+            "fig3-formalism-labels",
+            pipeline="matching_labels_example",
+            family="double_cover:heawood",
+            checker="bipartite_solution",
+        ),
+        Scenario.create(
+            "lem45-steps-x0",
+            pipeline="matching_sequence_steps",
+            sizes=(3, 4),
+            x=0,
+            y=1,
+        ),
+        Scenario.create(
+            "lem45-steps-x1",
+            pipeline="matching_sequence_steps",
+            sizes=(4,),
+            x=1,
+            y=1,
+        ),
+        Scenario.create(
+            "cor46-full-sequence",
+            pipeline="matching_full_sequence",
+            sizes=(2,),
+            delta=4,
+            x=0,
+            y=1,
+        ),
+    ),
+    "ruling_sets": (
+        Scenario.create(
+            "thm61-bound-series",
+            pipeline="ruling_bound_series",
+            sizes=(1, 2, 3, 4),
+        ),
+        Scenario.create(
+            "thm61-peeling",
+            pipeline="ruling_peeling",
+            family="cage:tutte_coxeter",
+            checker="ruling_set",
+            beta=2,
+            delta=3,
+        ),
+    ),
+    "arbdefective": (
+        Scenario.create(
+            "thm51-fixed-points-k2",
+            pipeline="arbdefective_fixed_points",
+            sizes=(2, 3, 4),
+            k=2,
+        ),
+        Scenario.create(
+            "thm51-fixed-points-k3",
+            pipeline="arbdefective_fixed_points",
+            sizes=(3,),
+            k=3,
+        ),
+        Scenario.create(
+            "thm51-lift-refutation",
+            pipeline="arbdefective_lift_refutation",
+            family="cage:petersen",
+            k=1,
+            delta=3,
+        ),
+        Scenario.create(
+            "thm51-extraction",
+            pipeline="arbdefective_extraction",
+            family="cage:petersen",
+            checker="proper_coloring",
+            delta=3,
+        ),
+    ),
+    "mis": (
+        *(
+            Scenario.create(
+                f"aapr23-{name}",
+                pipeline="mis_supported",
+                family=f"cage:{name}",
+                checker="mis",
+            )
+            for name in ("petersen", "heawood", "pappus", "mcgee", "tutte_coxeter")
+        ),
+        Scenario.create(
+            "luby-petersen",
+            pipeline="mis_luby",
+            family="cage:petersen",
+            checker="mis",
+            trials=3,
+        ),
+        Scenario.create(
+            "luby-random-regular",
+            pipeline="mis_luby",
+            family="random_regular:3:4:16",
+            checker="mis",
+            trials=2,
+        ),
+        Scenario.create(
+            "aapr23-parameters",
+            pipeline="mis_parameters",
+            sizes=(16, 24, 32, 48),
+        ),
+    ),
+    "round_elimination": (
+        Scenario.create(
+            "re-step-census",
+            pipeline="re_step_census",
+            sizes=(2, 3),
+        ),
+        Scenario.create(
+            "thmb2-speedup",
+            pipeline="speedup_b2",
+            family="marked_cycle:8",
+            edge_limit=8,
+        ),
+    ),
+    # The CI gate: one fast scenario per family, sized for < 60 s total.
+    "smoke": (
+        Scenario.create(
+            "smoke-matching-proposal",
+            pipeline="matching_proposal_sweep",
+            family="double_cover:heawood",
+            sizes=(1, 2),
+            checker="maximal_matching",
+        ),
+        Scenario.create(
+            "smoke-matching-step",
+            pipeline="matching_sequence_steps",
+            sizes=(3,),
+            x=0,
+            y=1,
+        ),
+        Scenario.create(
+            "smoke-ruling-bounds",
+            pipeline="ruling_bound_series",
+            sizes=(1, 2),
+        ),
+        Scenario.create(
+            "smoke-arbdefective-fixed-point",
+            pipeline="arbdefective_fixed_points",
+            sizes=(2, 3),
+            k=2,
+        ),
+        Scenario.create(
+            "smoke-mis-petersen",
+            pipeline="mis_supported",
+            family="cage:petersen",
+            checker="mis",
+        ),
+        Scenario.create(
+            "smoke-luby",
+            pipeline="mis_luby",
+            family="cage:petersen",
+            checker="mis",
+            trials=1,
+        ),
+        Scenario.create(
+            "smoke-re-census",
+            pipeline="re_step_census",
+            sizes=(2,),
+        ),
+    ),
+}
+
+
+def suite_names() -> list[str]:
+    return sorted(SUITES)
+
+
+def get_suite(name: str) -> tuple[Scenario, ...]:
+    try:
+        return SUITES[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown suite {name!r}; known: {suite_names()}"
+        ) from None
+
+
+def get_scenario(suite: str, name: str) -> Scenario:
+    for scenario in get_suite(suite):
+        if scenario.name == name:
+            return scenario
+    raise InvalidParameterError(
+        f"suite {suite!r} has no scenario {name!r}; "
+        f"known: {[s.name for s in get_suite(suite)]}"
+    )

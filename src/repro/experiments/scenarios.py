@@ -1,0 +1,132 @@
+"""Declarative experiment scenarios.
+
+A :class:`Scenario` names everything one experiment needs — a graph
+family, a size sweep, a measurement pipeline, a validity checker and a
+seed — without holding any live objects, so scenarios are picklable
+(the parallel runner ships them to worker processes) and serializable
+(their description is embedded in result JSON).
+
+Pipelines and graph families are referenced *by key*; the tables live in
+:mod:`repro.experiments.pipelines` and are resolved at execution time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.checkers import (
+    check_bipartite_solution,
+    check_maximal_matching,
+    check_mis,
+    check_proper_coloring,
+    check_ruling_set,
+)
+from repro.utils import InvalidParameterError
+
+#: Version tag embedded in every result payload (for future BENCH_*.json
+#: trajectory tracking to key on).
+RESULT_SCHEMA = "repro.experiments/v1"
+
+#: Named validity checkers a scenario can reference.
+CHECKERS = {
+    "bipartite_solution": check_bipartite_solution,
+    "maximal_matching": check_maximal_matching,
+    "mis": check_mis,
+    "proper_coloring": check_proper_coloring,
+    "ruling_set": check_ruling_set,
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative experiment: family + sweep + pipeline + checker + seed."""
+
+    name: str
+    pipeline: str
+    family: str | None = None
+    sizes: tuple[int, ...] = ()
+    checker: str | None = None
+    seed: int = 0
+    params: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        pipeline: str,
+        family: str | None = None,
+        sizes: tuple[int, ...] = (),
+        checker: str | None = None,
+        seed: int = 0,
+        **params,
+    ) -> "Scenario":
+        """Build a scenario with keyword parameters given naturally."""
+        return cls(
+            name=name,
+            pipeline=pipeline,
+            family=family,
+            sizes=tuple(sizes),
+            checker=checker,
+            seed=seed,
+            params=tuple(sorted(params.items())),
+        )
+
+    @property
+    def options(self) -> dict:
+        """The extra pipeline parameters as a dict."""
+        return dict(self.params)
+
+    def option(self, key: str, default=None):
+        return self.options.get(key, default)
+
+    def derive_rng(self, base_seed: int) -> random.Random:
+        """The scenario's private RNG.
+
+        Seeded from the run seed plus the scenario's own identity only, so
+        the stream is identical whether the scenario runs serially, in a
+        worker process, or in a different position within its suite.
+        """
+        return random.Random(f"{base_seed}:{self.seed}:{self.name}")
+
+    def resolve_checker(self):
+        """The checker callable, or ``None`` when no checker is declared."""
+        if self.checker is None:
+            return None
+        try:
+            return CHECKERS[self.checker]
+        except KeyError:
+            raise InvalidParameterError(
+                f"scenario {self.name!r} references unknown checker "
+                f"{self.checker!r}; known: {sorted(CHECKERS)}"
+            ) from None
+
+    def describe(self) -> dict:
+        """The serializable identity block embedded in result payloads."""
+        return {
+            "name": self.name,
+            "pipeline": self.pipeline,
+            "family": self.family,
+            "sizes": list(self.sizes),
+            "checker": self.checker,
+            "seed": self.seed,
+            "params": {key: value for key, value in self.params},
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Deterministic records plus (non-deterministic) wall-clock timing."""
+
+    scenario: Scenario
+    records: tuple[dict, ...]
+    ok: bool
+    wall_seconds: float = field(compare=False, default=0.0)
+
+    def payload(self) -> dict:
+        """The deterministic JSON block for this scenario."""
+        return {
+            "scenario": self.scenario.describe(),
+            "records": list(self.records),
+            "ok": self.ok,
+        }

@@ -25,7 +25,6 @@ from repro.formalism.configurations import (
     Label,
 )
 from repro.utils import ArityMismatchError, UnknownLabelError
-from repro.utils.multiset import is_submultiset
 
 
 class Constraint:

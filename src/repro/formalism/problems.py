@@ -12,7 +12,7 @@ bipartitely on the incidence graph).
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.formalism.configurations import Configuration, Label
 from repro.formalism.constraints import Constraint

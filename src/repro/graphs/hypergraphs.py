@@ -10,7 +10,7 @@ the hyperedge.  Ordinary graphs are rank-2 hypergraphs, which is how the
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 

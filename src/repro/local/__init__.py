@@ -1,9 +1,16 @@
 """LOCAL / Supported LOCAL round-by-round simulator."""
 
+from repro.local.measurement import (
+    EngineProbe,
+    Measurement,
+    measured_run_synchronous,
+    timed,
+)
 from repro.local.network import Network
 from repro.local.simulator import (
     NodeAlgorithm,
     NodeContext,
+    RoundTrace,
     RunResult,
     run_synchronous,
     run_view_algorithm,
@@ -21,17 +28,22 @@ from repro.local.views import (
 )
 
 __all__ = [
+    "EngineProbe",
     "LocalView",
+    "Measurement",
     "Network",
     "NodeAlgorithm",
     "NodeContext",
+    "RoundTrace",
     "RunResult",
     "SupportedInstance",
     "SupportedView",
     "collect_supported_view",
     "collect_view",
+    "measured_run_synchronous",
     "minimum_rounds",
     "run_supported_view_algorithm",
     "run_synchronous",
     "run_view_algorithm",
+    "timed",
 ]

@@ -72,18 +72,37 @@ class RunResult:
     rounds: int
 
 
+@dataclass(frozen=True)
+class RoundTrace:
+    """Per-round engine observations, fed to ``on_round`` observers."""
+
+    round: int
+    live_nodes: int
+    messages_delivered: int
+    messages_dropped: int
+
+
 def run_synchronous(
     network: Network,
     factory: Callable[[NodeContext], NodeAlgorithm],
     max_rounds: int = 10_000,
     extra: Callable[[object], dict] | None = None,
     rng_for: Callable[[object], object] | None = None,
+    on_round: Callable[[RoundTrace], None] | None = None,
 ) -> RunResult:
     """Run a message-passing algorithm until every node halts.
 
     ``extra`` injects per-node auxiliary knowledge (e.g. full support-graph
     information in Supported LOCAL experiments); ``rng_for`` injects a
-    per-node random source for randomized algorithms.
+    per-node random source for randomized algorithms; ``on_round`` observes
+    a :class:`RoundTrace` after each round (the measurement hook used by
+    :mod:`repro.local.measurement`).
+
+    Halting semantics: a node that halts — even during :meth:`init`, before
+    any communication — is silent for the rest of the run.  Messages
+    addressed to an already-halted node are dropped at delivery (counted in
+    the round trace), and a node whose :meth:`send` returns messages after
+    calling :meth:`halt` is rejected as a protocol violation.
     """
     algorithms: dict[object, NodeAlgorithm] = {}
     for node in network.graph.nodes:
@@ -110,27 +129,52 @@ def run_synchronous(
                 f"algorithm did not halt within {max_rounds} rounds"
             )
         outbox: dict[object, dict[int, object]] = {}
+        live_nodes = 0
         for node, algorithm in algorithms.items():
             if algorithm.halted:
                 continue
+            live_nodes += 1
             messages = algorithm.send() or {}
+            if algorithm.halted and messages:
+                raise SimulationError(
+                    f"node {node!r} halted during send() but still emitted "
+                    f"messages on ports {sorted(messages)}"
+                )
             stray = set(messages) - set(range(1, network.graph.degree(node) + 1))
             if stray:
                 raise SimulationError(
                     f"node {node!r} sent on invalid ports {sorted(stray)}"
                 )
             outbox[node] = messages
+        # Inboxes exist only for live nodes: a halted node (including one
+        # that halted during init()) never receives, so messages addressed
+        # to it are dropped here rather than silently retained.
         inbox: dict[object, dict[int, object]] = {
-            node: {} for node in algorithms
+            node: {}
+            for node, algorithm in algorithms.items()
+            if not algorithm.halted
         }
+        delivered = dropped = 0
         for node, messages in outbox.items():
             for port, payload in messages.items():
                 neighbor = network.via_port(node, port)
+                if neighbor not in inbox:
+                    dropped += 1
+                    continue
                 back_port = network.port_to(neighbor, node)
                 inbox[neighbor][back_port] = payload
-        for node, algorithm in algorithms.items():
-            if not algorithm.halted:
-                algorithm.receive(inbox[node])
+                delivered += 1
+        for node, messages in inbox.items():
+            algorithms[node].receive(messages)
+        if on_round is not None:
+            on_round(
+                RoundTrace(
+                    round=rounds,
+                    live_nodes=live_nodes,
+                    messages_delivered=delivered,
+                    messages_dropped=dropped,
+                )
+            )
 
     return RunResult(
         outputs={node: algorithm.output for node, algorithm in algorithms.items()},

@@ -14,7 +14,7 @@ family sequences (Corollary 4.6, via family-specific step lemmas).
 from __future__ import annotations
 
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.formalism.configurations import Label
 from repro.formalism.problems import Problem

@@ -1,4 +1,4 @@
-"""Shared utilities: multiset algebra, table rendering, exceptions."""
+"""Shared utilities: multiset algebra, serialization, tables, exceptions."""
 
 from repro.utils.exceptions import (
     ArityMismatchError,
@@ -14,6 +14,12 @@ from repro.utils.exceptions import (
     SolverLimitError,
     UnknownLabelError,
 )
+from repro.utils.serialization import (
+    canonical_dumps,
+    result_digest,
+    to_jsonable,
+    write_json,
+)
 
 __all__ = [
     "ArityMismatchError",
@@ -28,4 +34,8 @@ __all__ = [
     "SolverError",
     "SolverLimitError",
     "UnknownLabelError",
+    "canonical_dumps",
+    "result_digest",
+    "to_jsonable",
+    "write_json",
 ]

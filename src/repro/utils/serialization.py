@@ -1,0 +1,74 @@
+"""Canonical JSON serialization for experiment results.
+
+Experiment records mix graph nodes, frozensets, tuples, dataclasses and
+check results; this module flattens all of them into plain JSON with a
+*canonical* encoding (sorted keys, sorted set elements, fixed separators)
+so that two runs producing equal results produce byte-identical files —
+the property the parallel-vs-serial equality guarantees of the
+experiments runner rest on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+
+
+def to_jsonable(value):
+    """Recursively convert ``value`` into JSON-encodable structures.
+
+    Sets and frozensets become sorted lists (ordered by their canonical
+    encoding, so mixed element types are fine); tuples become lists;
+    dataclasses become dicts; dict keys are stringified.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return to_jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {_canonical_key(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (set, frozenset)):
+        converted = [to_jsonable(item) for item in value]
+        return sorted(converted, key=lambda item: json.dumps(item, sort_keys=True))
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    return str(value)
+
+
+def _canonical_key(key) -> str:
+    """A deterministic string for a dict key.
+
+    ``str()`` is only safe for scalars; containers (e.g. frozenset edge
+    keys) iterate in hash order, which varies per process — exactly the
+    nondeterminism this module exists to eliminate — so they go through
+    the canonical encoding instead.
+    """
+    if isinstance(key, str):
+        return key
+    if isinstance(key, (bool, int, float)) or key is None:
+        return str(key)
+    return json.dumps(to_jsonable(key), sort_keys=True, separators=(",", ":"))
+
+
+def canonical_dumps(value, indent: int | None = None) -> str:
+    """Serialize ``value`` deterministically (sorted keys, stable order)."""
+    separators = (",", ": ") if indent is not None else (",", ":")
+    return json.dumps(
+        to_jsonable(value), sort_keys=True, indent=indent, separators=separators
+    )
+
+
+def write_json(path: str | Path, value, indent: int | None = 2) -> Path:
+    """Write ``value`` as canonical JSON, creating parent directories."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(canonical_dumps(value, indent=indent) + "\n")
+    return target
+
+
+def result_digest(value) -> str:
+    """A short stable fingerprint of a result payload (for trajectories)."""
+    encoded = canonical_dumps(value).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()[:16]

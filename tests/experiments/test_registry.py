@@ -1,0 +1,86 @@
+"""Registry resolution: every declared suite is fully executable."""
+
+import pytest
+
+from repro.experiments import (
+    PIPELINES,
+    SUITES,
+    get_scenario,
+    get_suite,
+    suite_names,
+)
+from repro.experiments.pipelines import resolve_pipeline
+from repro.utils import InvalidParameterError
+
+
+class TestSuiteRegistry:
+    def test_expected_suites_present(self):
+        assert {"matching", "ruling_sets", "arbdefective", "mis",
+                "round_elimination", "smoke"} <= set(suite_names())
+
+    def test_every_pipeline_reference_resolves(self):
+        for suite in suite_names():
+            for scenario in get_suite(suite):
+                assert resolve_pipeline(scenario.pipeline) is PIPELINES[scenario.pipeline]
+
+    def test_every_checker_reference_resolves(self):
+        for suite in suite_names():
+            for scenario in get_suite(suite):
+                checker = scenario.resolve_checker()
+                assert checker is None or callable(checker)
+
+    def test_scenario_names_unique_within_suite(self):
+        for suite, scenarios in SUITES.items():
+            names = [scenario.name for scenario in scenarios]
+            assert len(names) == len(set(names)), suite
+
+    def test_get_scenario(self):
+        scenario = get_scenario("matching", "thm41-proposal-sweep")
+        assert scenario.pipeline == "matching_proposal_sweep"
+        assert scenario.sizes == (1, 2, 3)
+        assert scenario.checker == "maximal_matching"
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            get_suite("nope")
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            get_scenario("matching", "nope")
+
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_pipeline("nope")
+
+    def test_unknown_checker_rejected(self):
+        from repro.experiments import Scenario
+
+        scenario = Scenario.create("bad", pipeline="mis_supported", checker="nope")
+        with pytest.raises(InvalidParameterError):
+            scenario.resolve_checker()
+
+    def test_scenarios_are_picklable(self):
+        import pickle
+
+        for suite in suite_names():
+            for scenario in get_suite(suite):
+                assert pickle.loads(pickle.dumps(scenario)) == scenario
+
+    def test_describe_is_serializable(self):
+        from repro.utils.serialization import canonical_dumps
+
+        for suite in suite_names():
+            for scenario in get_suite(suite):
+                assert canonical_dumps(scenario.describe())
+
+
+class TestScenarioRng:
+    def test_rng_depends_only_on_identity(self):
+        scenario = get_scenario("mis", "luby-petersen")
+        first = scenario.derive_rng(7).random()
+        second = scenario.derive_rng(7).random()
+        assert first == second
+
+    def test_rng_varies_with_base_seed(self):
+        scenario = get_scenario("mis", "luby-petersen")
+        assert scenario.derive_rng(0).random() != scenario.derive_rng(1).random()

@@ -5,11 +5,13 @@ import pytest
 
 from repro.graphs import cage, cycle
 from repro.local import (
+    EngineProbe,
     Network,
     NodeAlgorithm,
     SupportedInstance,
     collect_supported_view,
     collect_view,
+    measured_run_synchronous,
     run_supported_view_algorithm,
     run_synchronous,
     run_view_algorithm,
@@ -160,3 +162,115 @@ class TestSupportedViews:
         )
         assert result.outputs[0] == 1
         assert result.outputs[3] == 0
+
+
+class _InitHalter(NodeAlgorithm):
+    """Halts during init() when told to; otherwise pings all neighbors once."""
+
+    def init(self):
+        if self.ctx.extra["halts_in_init"]:
+            self.halt("init-halted")
+
+    def send(self):
+        return {port: "ping" for port in self.ctx.ports}
+
+    def receive(self, messages):
+        self.halt(sorted(messages.values()))
+
+
+class TestInitHalting:
+    """Nodes that halt during init() stay silent and unreachable.
+
+    Regression tests: before the delivery guard, messages addressed to an
+    init-halted node were retained in its inbox; now they are dropped and
+    counted, and the run completes with only live nodes exchanging data.
+    """
+
+    def test_messages_to_init_halted_nodes_are_dropped(self):
+        # C4 with IDs 1..4 on nodes 0..3: halt the even nodes in init.
+        network = Network(graph=cycle(4))
+        halted_nodes = {node for node in network.graph.nodes if node % 2 == 0}
+        result, measurement = measured_run_synchronous(
+            network,
+            _InitHalter,
+            extra=lambda node: {"halts_in_init": node in halted_nodes},
+        )
+        assert result.rounds == 1
+        for node in halted_nodes:
+            assert result.outputs[node] == "init-halted"
+        # On C4 both neighbors of a live node halted in init, so every live
+        # node received nothing and every sent message was dropped.
+        for node in set(network.graph.nodes) - halted_nodes:
+            assert result.outputs[node] == []
+        assert measurement.messages_delivered == 0
+        assert measurement.messages_dropped == 4  # 2 live nodes x 2 ports
+
+    def test_live_nodes_still_communicate(self):
+        # C6 with a single init-halted node: its two neighbors lose one
+        # inbox entry each; everyone else has a full inbox.
+        network = Network(graph=cycle(6))
+        result, measurement = measured_run_synchronous(
+            network,
+            _InitHalter,
+            extra=lambda node: {"halts_in_init": node == 0},
+        )
+        assert result.outputs[0] == "init-halted"
+        assert result.outputs[1] == ["ping"]   # lost the message from 0
+        assert result.outputs[5] == ["ping"]
+        assert result.outputs[3] == ["ping", "ping"]
+        assert measurement.messages_dropped == 2
+        assert measurement.messages_delivered == 8
+
+    def test_all_nodes_halting_in_init_is_a_zero_round_run(self):
+        network = Network(graph=cycle(5))
+        result = run_synchronous(
+            network, _InitHalter, extra=lambda node: {"halts_in_init": True}
+        )
+        assert result.rounds == 0
+        assert set(result.outputs.values()) == {"init-halted"}
+
+    def test_halting_during_send_with_messages_rejected(self):
+        class SilenceViolator(NodeAlgorithm):
+            def send(self):
+                self.halt("done")
+                return {port: "x" for port in self.ctx.ports}
+
+        network = Network(graph=cycle(3))
+        with pytest.raises(SimulationError, match="halted during send"):
+            run_synchronous(network, SilenceViolator)
+
+    def test_halting_silently_during_send_is_allowed(self):
+        class SilentQuitter(NodeAlgorithm):
+            def send(self):
+                self.halt("quit")
+                return {}
+
+        network = Network(graph=cycle(3))
+        result = run_synchronous(network, SilentQuitter)
+        assert result.rounds == 1
+        assert set(result.outputs.values()) == {"quit"}
+
+
+class TestMeasurement:
+    def test_probe_traces_every_round(self):
+        network = Network(graph=cycle(4))
+        probe = EngineProbe()
+        result = run_synchronous(network, _EchoIds, on_round=probe)
+        assert len(probe.traces) == result.rounds == 1
+        trace = probe.traces[0]
+        assert trace.live_nodes == 4
+        assert trace.messages_delivered == 8
+        assert trace.messages_dropped == 0
+
+    def test_measured_run_summary(self):
+        network = Network(graph=cycle(4))
+        result, measurement = measured_run_synchronous(network, _EchoIds)
+        assert measurement.rounds == result.rounds
+        assert measurement.wall_seconds > 0
+        assert measurement.peak_live_nodes == 4
+        assert measurement.as_record() == {
+            "rounds": 1,
+            "messages_delivered": 8,
+            "messages_dropped": 0,
+            "peak_live_nodes": 4,
+        }

@@ -1,0 +1,79 @@
+"""Canonical serialization: the substrate of result reproducibility."""
+
+import json
+from dataclasses import dataclass
+
+from repro.utils.serialization import (
+    canonical_dumps,
+    result_digest,
+    to_jsonable,
+    write_json,
+)
+
+
+@dataclass(frozen=True)
+class _Point:
+    x: int
+    y: int
+
+
+class TestToJsonable:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "s"):
+            assert to_jsonable(value) == value
+
+    def test_sets_become_sorted_lists(self):
+        assert to_jsonable({3, 1, 2}) == [1, 2, 3]
+        assert to_jsonable(frozenset({"b", "a"})) == ["a", "b"]
+
+    def test_nested_frozensets(self):
+        value = {frozenset({1, 2}), frozenset({0, 3})}
+        assert to_jsonable(value) == [[0, 3], [1, 2]]
+
+    def test_tuples_become_lists(self):
+        assert to_jsonable((1, (2, 3))) == [1, [2, 3]]
+
+    def test_dict_keys_stringified(self):
+        assert to_jsonable({1: "a"}) == {"1": "a"}
+
+    def test_container_dict_keys_are_canonical(self):
+        # str(frozenset) iterates in hash order, which varies per process;
+        # canonical keys must not (the parallel runner relies on this).
+        value = {frozenset({"alpha", "beta", "gamma", "delta"}): 1}
+        assert to_jsonable(value) == {'["alpha","beta","delta","gamma"]': 1}
+        assert to_jsonable({(2, 1): "x"}) == {"[2,1]": "x"}
+
+    def test_dataclasses(self):
+        assert to_jsonable(_Point(1, 2)) == {"x": 1, "y": 2}
+
+    def test_fallback_to_str(self):
+        assert to_jsonable(complex(1, 2)) == "(1+2j)"
+
+
+class TestCanonicalDumps:
+    def test_key_order_is_canonical(self):
+        assert canonical_dumps({"b": 1, "a": 2}) == canonical_dumps({"a": 2, "b": 1})
+
+    def test_set_order_is_canonical(self):
+        assert canonical_dumps({"x", "y", "z"}) == canonical_dumps({"z", "y", "x"})
+
+
+class TestWriteJson:
+    def test_roundtrip(self, tmp_path):
+        target = tmp_path / "deep" / "out.json"
+        write_json(target, {"records": [{"set": {2, 1}}]})
+        assert json.loads(target.read_text()) == {"records": [{"set": [1, 2]}]}
+
+    def test_trailing_newline(self, tmp_path):
+        target = write_json(tmp_path / "out.json", [1])
+        assert target.read_text().endswith("\n")
+
+
+class TestDigest:
+    def test_stable_across_orderings(self):
+        assert result_digest({"a": 1, "b": {2, 3}}) == result_digest(
+            {"b": {3, 2}, "a": 1}
+        )
+
+    def test_distinguishes_values(self):
+        assert result_digest({"a": 1}) != result_digest({"a": 2})
