@@ -1,0 +1,94 @@
+"""ENGINES — object vs batched backends on the matching workload.
+
+The acceptance claim of the ``repro.api`` engine subsystem: at n ≥ 2000
+on the matching suite's workload (the proposal algorithm on 2-colored
+double covers), the CSR-batched engine is ≥ 1.5× faster than the object
+engine, while producing byte-identical reports.
+
+Run with ``pytest benchmarks/bench_engines.py`` (pytest-benchmark groups
+the two engines per size); ``test_batched_speedup_at_n2000`` additionally
+asserts the speedup with its own best-of-N timing, independent of
+pytest-benchmark, and prints the measured table.
+"""
+
+import time
+
+import pytest
+
+from repro import api
+from repro.api.engines import resolve_engine
+from repro.utils.tables import print_table
+
+SIZES = (2000, 4000)
+DELTA = 4
+
+
+def _prepared(n: int):
+    """Shared network + program, so the measurement isolates engine time."""
+    spec = api.ProblemSpec.parse(f"matching:delta={DELTA},x=0,y=1")
+    algorithm = api.resolve_algorithm("matching:proposal")
+    network = algorithm.default_network(spec, n=n, seed=0)
+    program = algorithm.program(network, spec, {})
+    return network, program
+
+
+def _best_of(engine, network, program, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        engine.run(network, program, seed=0)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.parametrize("engine_name", ("object", "batched"))
+@pytest.mark.parametrize("n", SIZES)
+def test_engine_throughput(benchmark, engine_name, n):
+    network, program = _prepared(n)
+    engine = resolve_engine(engine_name)
+    benchmark.group = f"matching n={n}"
+    result = benchmark(lambda: engine.run(network, program, seed=0))
+    assert result.rounds == 2 * DELTA  # the proposal algorithm's 2Δ' rounds
+
+
+def test_batched_speedup_at_n2000():
+    """The tentpole performance criterion, asserted with a margin below
+    the locally measured ~1.8× to absorb CI timer noise."""
+    rows = []
+    for n in SIZES:
+        network, program = _prepared(n)
+        object_engine = resolve_engine("object")
+        batched_engine = resolve_engine("batched")
+        batched_engine.run(network, program, seed=0)  # compile the CSR form
+        object_seconds = _best_of(object_engine, network, program)
+        batched_seconds = _best_of(batched_engine, network, program)
+        rows.append((n, object_seconds, batched_seconds,
+                     object_seconds / batched_seconds))
+    print_table(
+        ["n", "object (s)", "batched (s)", "speedup"],
+        [(n, f"{o:.4f}", f"{b:.4f}", f"{s:.2f}x") for n, o, b, s in rows],
+        title="ENGINES: object vs batched on the matching workload",
+    )
+    for n, _o, _b, speedup in rows:
+        assert speedup >= 1.5, (
+            f"batched engine only {speedup:.2f}x at n={n}; criterion is 1.5x"
+        )
+
+
+def test_engines_byte_identical_end_to_end():
+    """Speed must not change observables: full solve() reports at n=2000
+    agree byte-for-byte on canonical JSON."""
+    reports = {
+        engine: api.solve(
+            f"matching:delta={DELTA},x=0,y=1",
+            algorithm="matching:proposal",
+            engine=engine,
+            seed=0,
+            n=2000,
+        )
+        for engine in api.available_engines()
+    }
+    reference = reports["object"]
+    assert reference.valid is True
+    for report in reports.values():
+        assert report.canonical_json() == reference.canonical_json()

@@ -1,13 +1,14 @@
 """Quickstart: the black-white formalism, diagrams, RE and lift in 5 minutes.
 
 Walks the maximal matching problem (paper Appendix A) through the whole
-stack: construction, strength diagram, one round elimination step, the
-lift operator, and a Supported LOCAL 0-round solvability decision on a
-concrete support graph.
+stack: the one-call ``repro.api`` façade, construction, strength diagram,
+one round elimination step, the lift operator, and a Supported LOCAL
+0-round solvability decision on a concrete support graph.
 
 Run:  python examples/quickstart.py
 """
 
+from repro import api
 from repro.core import algorithm_from_lift_solution, is_correct_zero_round, lift
 from repro.formalism import black_diagram, render_diagram, render_problem
 from repro.formalism.labels import set_label_members
@@ -18,6 +19,14 @@ from repro.solvers import solve_bipartite
 
 
 def main() -> None:
+    # 0. The one-call façade: spec → algorithm → engine → checker.
+    report = api.solve("matching:Δ=4,x=0,y=1",
+                       algorithm="matching:proposal", engine="batched", seed=0)
+    print(f"api.solve: {report.problem} via {report.algorithm} on the "
+          f"{report.engine} engine → rounds={report.rounds}, "
+          f"|M|={len(report.outputs)}, valid={report.valid}")
+    print()
+
     # 1. The maximal matching problem in the black-white formalism.
     problem = maximal_matching_problem(3)
     print(render_problem(problem))

@@ -25,7 +25,10 @@ The library implements, end to end, the machinery the paper builds:
 * :mod:`repro.analysis` — executable versions of the paper's proof steps
   (Lemmas 4.7-4.9, 5.7-5.10, 6.6);
 * :mod:`repro.checkers` — validity checkers for formalism solutions and for
-  the concrete graph problems.
+  the concrete graph problems;
+* :mod:`repro.api` — the unified façade: problem specs, name-registered
+  algorithms, pluggable execution engines and the
+  ``solve()``/``check()``/``simulate()`` entry points.
 """
 
 from repro.formalism import Problem

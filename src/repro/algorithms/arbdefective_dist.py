@@ -15,7 +15,10 @@ from __future__ import annotations
 
 import networkx as nx
 
+from repro.api.registry import Algorithm, register_algorithm
+from repro.api.types import ProblemSpec
 from repro.checkers.graph_problems import CheckResult, check_arbdefective_coloring
+from repro.local.network import Network
 from repro.utils import InvalidParameterError
 
 
@@ -60,6 +63,49 @@ def class_sweep_arbdefective_coloring(
 
     rounds = len(distinct)
     return color_of, orientation, alpha, rounds
+
+
+class ClassSweepArbdefective(Algorithm):
+    """``"arbdefective:class-sweep"`` — α-arbdefective c-coloring.
+
+    A global-knowledge construction: starts from a proper coloring
+    (option ``proper_coloring``; default the shared class-sweep
+    (Δ+1)-coloring, whose rounds are included in the accounting) and
+    sweeps its classes.  The solution is a dict with ``color_of``,
+    ``orientation``, ``alpha`` and ``colors`` — the exact arguments of
+    the §5 checker.
+    """
+
+    name = "arbdefective:class-sweep"
+    families = ("arbdefective",)
+    kind = "global"
+    description = "α-arbdefective c-coloring by class sweep (α = ⌊Δ/c⌋)"
+
+    def run_global(
+        self, network: Network, spec: ProblemSpec, options: dict, seed: int
+    ) -> tuple[dict, int]:
+        from repro.algorithms.coloring_dist import class_sweep_coloring
+
+        graph = network.graph
+        colors = options.get("colors", spec.param("colors", 2))
+        proper = options.get("proper_coloring")
+        base_rounds = 0
+        if proper is None:
+            base, base_rounds = class_sweep_coloring(graph)
+            proper = {node: color + 1 for node, color in base.items()}
+        color_of, orientation, alpha, sweep_rounds = (
+            class_sweep_arbdefective_coloring(graph, proper, colors)
+        )
+        solution = {
+            "color_of": color_of,
+            "orientation": orientation,
+            "alpha": alpha,
+            "colors": colors,
+        }
+        return solution, base_rounds + sweep_rounds
+
+
+register_algorithm(ClassSweepArbdefective())
 
 
 def verify_class_sweep_construction(

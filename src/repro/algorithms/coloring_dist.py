@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import networkx as nx
 
+from repro.api.registry import Algorithm, register_algorithm
+from repro.api.types import MessagePassingProgram, ProblemSpec
 from repro.graphs.chromatic import greedy_coloring
 from repro.local.network import Network
 from repro.local.simulator import NodeAlgorithm, RunResult, run_synchronous
@@ -74,3 +76,38 @@ def class_sweep_coloring(
 def coloring_from_ids(network: Network) -> dict:
     """The trivial n-coloring by IDs (plain-LOCAL starting point)."""
     return {node: network.ids[node] - 1 for node in network.graph.nodes}
+
+
+class ClassSweepColoring(Algorithm):
+    """``"coloring:class-sweep"`` — (Δ+1)-coloring by class sweep.
+
+    Option ``initial_coloring`` overrides the starting coloring; the
+    default is the shared greedy support-graph coloring (the Supported
+    LOCAL setting, where it costs 0 rounds).
+    """
+
+    name = "coloring:class-sweep"
+    families = ("coloring",)
+    kind = "message"
+    description = "(Δ+1)-coloring: sweep the classes of a free coloring"
+
+    def program(
+        self, network: Network, spec: ProblemSpec, options: dict
+    ) -> MessagePassingProgram:
+        initial = options.get("initial_coloring")
+        if initial is None:
+            initial = greedy_coloring(network.graph)
+        num_classes = max(initial.values(), default=-1) + 1
+
+        def extra(node) -> dict:
+            return {"initial_color": initial[node], "num_classes": num_classes}
+
+        return MessagePassingProgram(factory=_ClassSweepNode, extra=extra)
+
+    def finalize(
+        self, network: Network, spec: ProblemSpec, options: dict, outputs: dict
+    ) -> dict:
+        return dict(outputs)
+
+
+register_algorithm(ClassSweepColoring())

@@ -12,8 +12,13 @@ so every node can run exactly 2Δ′ rounds and halt — round complexity
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 import networkx as nx
 
+from repro.api.registry import Algorithm, register_algorithm
+from repro.api.types import MessagePassingProgram, ProblemSpec
+from repro.graphs.double_cover import mark_bipartition
 from repro.local.network import Network
 from repro.local.simulator import NodeAlgorithm, RunResult, run_synchronous
 
@@ -68,15 +73,11 @@ class _ProposalNode(NodeAlgorithm):
             self.halt({"matched": self.matched_port})
 
 
-def bipartite_maximal_matching(
-    support: nx.Graph, input_edges: frozenset
-) -> tuple[set[frozenset], int]:
-    """Run the proposal algorithm; return (matching, rounds used).
-
-    ``support`` must carry white/black ``color`` attributes; the matching
-    is computed on the input graph G′ = ``input_edges``.
-    """
-    network = Network(graph=support)
+def proposal_extra(network: Network, input_edges: frozenset) -> Callable:
+    """The per-node knowledge of the proposal algorithm: own color, input
+    ports (ports leading into G′) and Δ′ (part of the model's initial
+    knowledge)."""
+    support = network.graph
     input_graph_degrees: dict = {}
     for edge in input_edges:
         for endpoint in edge:
@@ -95,15 +96,75 @@ def bipartite_maximal_matching(
             "delta_prime": delta_prime,
         }
 
-    result: RunResult = run_synchronous(network, _ProposalNode, extra=extra)
+    return extra
+
+
+def matching_from_outputs(network: Network, outputs: dict) -> set[frozenset]:
+    """Decode ``{"matched": port}`` node outputs into a matching edge set
+    (white outputs are authoritative; black outputs mirror them)."""
+    support = network.graph
     matching: set[frozenset] = set()
-    for node, output in result.outputs.items():
+    for node, output in outputs.items():
         if support.nodes[node]["color"] != "white":
             continue
         port = output.get("matched")
         if port is not None:
             matching.add(frozenset((node, network.via_port(node, port))))
-    return matching, result.rounds
+    return matching
+
+
+def bipartite_maximal_matching(
+    support: nx.Graph, input_edges: frozenset
+) -> tuple[set[frozenset], int]:
+    """Run the proposal algorithm; return (matching, rounds used).
+
+    ``support`` must carry white/black ``color`` attributes; the matching
+    is computed on the input graph G′ = ``input_edges``.
+    """
+    network = Network(graph=support)
+    result: RunResult = run_synchronous(
+        network, _ProposalNode, extra=proposal_extra(network, input_edges)
+    )
+    return matching_from_outputs(network, result.outputs), result.rounds
+
+
+class ProposalMatching(Algorithm):
+    """``"matching:proposal"`` — the proposal algorithm behind the façade.
+
+    Runs on any 2-colored support graph (uncolored bipartite graphs are
+    2-colored in place).  Option ``input_edges`` restricts the matching
+    to an input subgraph G′ ⊆ G; the default is G′ = G.  A maximal
+    matching is x-maximal and y-bounded for every x ≥ 0, y ≥ 1, so the
+    whole Π_Δ(x,y) family is declared compatible.
+    """
+
+    name = "matching:proposal"
+    families = ("matching", "maximal-matching")
+    kind = "message"
+    description = "O(Δ') proposal matching on 2-colored support graphs"
+
+    def program(
+        self, network: Network, spec: ProblemSpec, options: dict
+    ) -> MessagePassingProgram:
+        support = network.graph
+        if any("color" not in support.nodes[node] for node in support.nodes):
+            mark_bipartition(support)
+        input_edges = options.get("input_edges")
+        if input_edges is None:
+            input_edges = frozenset(frozenset(edge) for edge in support.edges)
+        else:
+            input_edges = frozenset(frozenset(edge) for edge in input_edges)
+        return MessagePassingProgram(
+            factory=_ProposalNode, extra=proposal_extra(network, input_edges)
+        )
+
+    def finalize(
+        self, network: Network, spec: ProblemSpec, options: dict, outputs: dict
+    ) -> set[frozenset]:
+        return matching_from_outputs(network, outputs)
+
+
+register_algorithm(ProposalMatching())
 
 
 def greedy_maximal_matching(graph: nx.Graph) -> set[frozenset]:

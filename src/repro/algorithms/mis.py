@@ -13,9 +13,12 @@ Two algorithms bracket the paper's §1.1 discussion of [AAPR23]:
 from __future__ import annotations
 
 import random
+from collections.abc import Callable
 
 import networkx as nx
 
+from repro.api.registry import Algorithm, register_algorithm
+from repro.api.types import MessagePassingProgram, ProblemSpec
 from repro.graphs.chromatic import greedy_coloring
 from repro.local.network import Network
 from repro.local.simulator import NodeAlgorithm, RunResult, run_synchronous
@@ -114,6 +117,20 @@ class _LubyNode(NodeAlgorithm):
         self.step += 1
 
 
+def luby_rng_streams(network: Network, seed: int) -> Callable:
+    """Per-node random sources for Luby's algorithm.
+
+    Derived from the seed and the sorted node order only — never from the
+    engine or execution order — so every backend draws identical bits.
+    """
+    master = random.Random(seed)
+    sources = {
+        node: random.Random(master.randrange(2**63))
+        for node in sorted(network.graph.nodes, key=str)
+    }
+    return lambda node: sources[node]
+
+
 def luby_mis(graph: nx.Graph, seed: int = 0) -> tuple[set, int]:
     """Luby's randomized MIS (plain LOCAL); returns (MIS, rounds).
 
@@ -121,14 +138,70 @@ def luby_mis(graph: nx.Graph, seed: int = 0) -> tuple[set, int]:
     broken by fresh draws each phase; isolated nodes join immediately.
     """
     network = Network(graph=graph)
-    master = random.Random(seed)
-    sources = {
-        node: random.Random(master.randrange(2**63))
-        for node in sorted(graph.nodes, key=str)
-    }
-
     result = run_synchronous(
-        network, _LubyNode, rng_for=lambda node: sources[node], max_rounds=10_000
+        network,
+        _LubyNode,
+        rng_for=luby_rng_streams(network, seed),
+        max_rounds=10_000,
     )
     mis = {node for node, joined in result.outputs.items() if joined}
     return mis, result.rounds
+
+
+def _mis_from_outputs(outputs: dict) -> set:
+    return {node for node, joined in outputs.items() if joined}
+
+
+class SupportedMIS(Algorithm):
+    """``"mis:aapr23"`` — the χ_G-round Supported LOCAL MIS.
+
+    The shared greedy coloring of the support graph is computed without
+    communication (all nodes know G); the class sweep costs one round per
+    color.
+    """
+
+    name = "mis:aapr23"
+    families = ("mis",)
+    kind = "message"
+    description = "[AAPR23] χ_G-round Supported LOCAL MIS by color classes"
+
+    def program(
+        self, network: Network, spec: ProblemSpec, options: dict
+    ) -> MessagePassingProgram:
+        coloring = greedy_coloring(network.graph)
+        num_colors = max(coloring.values(), default=-1) + 1
+
+        def extra(node) -> dict:
+            return {"color": coloring[node], "num_colors": num_colors}
+
+        return MessagePassingProgram(factory=_ColorClassMISNode, extra=extra)
+
+    def finalize(
+        self, network: Network, spec: ProblemSpec, options: dict, outputs: dict
+    ) -> set:
+        return _mis_from_outputs(outputs)
+
+
+class LubyMIS(Algorithm):
+    """``"mis:luby"`` — Luby's randomized MIS (plain LOCAL baseline)."""
+
+    name = "mis:luby"
+    families = ("mis",)
+    kind = "message"
+    description = "Luby's randomized MIS, seeded per-node randomness"
+
+    def program(
+        self, network: Network, spec: ProblemSpec, options: dict
+    ) -> MessagePassingProgram:
+        return MessagePassingProgram(
+            factory=_LubyNode, rng_streams=luby_rng_streams
+        )
+
+    def finalize(
+        self, network: Network, spec: ProblemSpec, options: dict, outputs: dict
+    ) -> set:
+        return _mis_from_outputs(outputs)
+
+
+register_algorithm(SupportedMIS())
+register_algorithm(LubyMIS())

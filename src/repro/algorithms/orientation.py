@@ -16,6 +16,9 @@ from __future__ import annotations
 
 import networkx as nx
 
+from repro.api.registry import Algorithm, register_algorithm
+from repro.api.types import ProblemSpec
+from repro.local.network import Network
 from repro.utils import GraphConstructionError
 
 
@@ -67,3 +70,26 @@ def supported_sinkless_orientation_rounds(graph: nx.Graph) -> int:
     cite it next to the Δ′ < Δ lower bound.
     """
     return 0
+
+
+class GlobalSinklessOrientation(Algorithm):
+    """``"sinkless-orientation:global"`` — the 0-round Supported LOCAL SO.
+
+    Every node knows G, computes the same global orientation, and outputs
+    its incident part; the accounted round complexity is zero.
+    """
+
+    name = "sinkless-orientation:global"
+    families = ("sinkless-orientation",)
+    kind = "global"
+    description = "0-round sinkless orientation from global knowledge of G"
+
+    def run_global(
+        self, network: Network, spec: ProblemSpec, options: dict, seed: int
+    ) -> tuple[dict, int]:
+        graph = network.graph
+        orientation = global_sinkless_orientation(graph)
+        return orientation, supported_sinkless_orientation_rounds(graph)
+
+
+register_algorithm(GlobalSinklessOrientation())

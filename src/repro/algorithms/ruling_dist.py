@@ -13,7 +13,10 @@ from __future__ import annotations
 
 import networkx as nx
 
+from repro.api.registry import Algorithm, register_algorithm
+from repro.api.types import ProblemSpec
 from repro.graphs.chromatic import greedy_coloring
+from repro.local.network import Network
 
 
 def ruling_set_by_class_sweep(
@@ -66,3 +69,29 @@ def _within_distance(graph: nx.Graph, node, targets: set, beta: int) -> bool:
 def mis_from_ruling_sweep(graph: nx.Graph, coloring: dict | None = None) -> tuple[set, int]:
     """MIS = (2,1)-ruling set via the sweep (cross-checks the MIS module)."""
     return ruling_set_by_class_sweep(graph, beta=1, coloring=coloring)
+
+
+class ClassSweepRulingSet(Algorithm):
+    """``"ruling-set:class-sweep"`` — (2,β)-ruling sets from a coloring.
+
+    A global-knowledge construction (round-faithful accounting, not a
+    message loop): β defaults to the spec's ``β`` parameter, and β = 1
+    makes it an MIS algorithm, so both families are declared.  Option
+    ``coloring`` overrides the shared greedy coloring.
+    """
+
+    name = "ruling-set:class-sweep"
+    families = ("ruling-set", "mis")
+    kind = "global"
+    description = "(2,β)-ruling set by class sweep over a free coloring"
+
+    def run_global(
+        self, network: Network, spec: ProblemSpec, options: dict, seed: int
+    ) -> tuple[set, int]:
+        beta = options.get("beta", spec.param("beta", 1))
+        return ruling_set_by_class_sweep(
+            network.graph, beta=beta, coloring=options.get("coloring")
+        )
+
+
+register_algorithm(ClassSweepRulingSet())

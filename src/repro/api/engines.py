@@ -1,0 +1,114 @@
+"""Pluggable execution engines behind a common ``Engine.run`` contract.
+
+An *engine* executes a :class:`~repro.api.types.MessagePassingProgram` on
+a network and returns a :class:`~repro.local.simulator.RunResult`.  All
+engines implement::
+
+    engine.run(network, program, *, seed=0, max_rounds=10_000, probe=None)
+
+and must be observationally equivalent: same outputs, same round count,
+same delivered/dropped counters, same protocol-violation errors — the
+property CI's engine-parity job and ``tests/api/test_engine_parity.py``
+enforce.  Only speed may differ.
+
+Two backends ship:
+
+* ``"object"`` — the reference engine,
+  :func:`repro.local.simulator.run_synchronous`, unchanged;
+* ``"batched"`` — :func:`repro.local.batched.run_batched`, which compiles
+  the network into CSR-style adjacency arrays and runs send/deliver/
+  receive as per-round batch loops over preallocated inboxes (measured
+  ≥1.5× on the matching suite at n ≥ 2000; see
+  ``benchmarks/bench_engines.py``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.api.types import MessagePassingProgram
+from repro.local.batched import run_batched
+from repro.local.network import Network
+from repro.local.simulator import RoundTrace, RunResult, run_synchronous
+from repro.utils import InvalidParameterError
+
+#: Engine registry: name → engine instance.
+ENGINES: dict[str, "Engine"] = {}
+
+#: The engine used when a caller does not pick one.
+DEFAULT_ENGINE = "object"
+
+
+class Engine:
+    """An execution backend for message-passing programs."""
+
+    name: str = ""
+
+    def run(
+        self,
+        network: Network,
+        program: MessagePassingProgram,
+        *,
+        seed: int = 0,
+        max_rounds: int = 10_000,
+        probe: Callable[[RoundTrace], None] | None = None,
+    ) -> RunResult:
+        raise NotImplementedError
+
+
+class _SimulatorEngine(Engine):
+    """An engine delegating to a ``run_synchronous``-compatible runner."""
+
+    def __init__(self, name: str, runner: Callable[..., RunResult]) -> None:
+        self.name = name
+        self._runner = runner
+
+    def run(
+        self,
+        network: Network,
+        program: MessagePassingProgram,
+        *,
+        seed: int = 0,
+        max_rounds: int = 10_000,
+        probe: Callable[[RoundTrace], None] | None = None,
+    ) -> RunResult:
+        rng_for = (
+            program.rng_streams(network, seed) if program.rng_streams else None
+        )
+        return self._runner(
+            network,
+            program.factory,
+            max_rounds=max_rounds,
+            extra=program.extra,
+            rng_for=rng_for,
+            on_round=probe,
+        )
+
+
+def register_engine(engine: Engine) -> Engine:
+    """Register (and return) an engine instance under its name."""
+    if not engine.name:
+        raise InvalidParameterError("engine must have a non-empty name")
+    ENGINES[engine.name] = engine
+    return engine
+
+
+def available_engines() -> list[str]:
+    """Sorted names of registered engines."""
+    return sorted(ENGINES)
+
+
+def resolve_engine(engine: "Engine | str") -> Engine:
+    """Look an engine up by name (instances pass through)."""
+    if isinstance(engine, Engine):
+        return engine
+    try:
+        return ENGINES[engine]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown engine {engine!r}; registered: {available_engines()}"
+        ) from None
+
+
+register_engine(_SimulatorEngine("object", run_synchronous))
+register_engine(_SimulatorEngine("batched", run_batched))

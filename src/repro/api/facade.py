@@ -1,0 +1,318 @@
+"""End-to-end façade: ``solve()``, ``check()`` and ``simulate()``.
+
+One call composes the whole pipeline the paper's experiments repeat —
+resolve a problem spec, pick a registered algorithm, run it on an engine
+backend, validate the output, measure rounds::
+
+    from repro import api
+    report = api.solve("matching:Δ=4,x=0,y=1",
+                       algorithm="matching:proposal",
+                       engine="batched", seed=0)
+    assert report.valid and report.rounds > 0
+
+``solve`` returns a :class:`~repro.api.types.SolveReport`; ``check``
+validates an existing solution against a problem spec; ``simulate`` runs
+an algorithm on an engine and returns the raw
+(:class:`~repro.local.simulator.RunResult`,
+:class:`~repro.local.measurement.Measurement`) pair without finalizing
+or checking.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import networkx as nx
+
+from repro.api.engines import DEFAULT_ENGINE, Engine, resolve_engine
+from repro.api.registry import (
+    Algorithm,
+    available_algorithms,
+    resolve_algorithm,
+)
+from repro.api.types import ProblemSpec, SolveReport
+from repro.checkers import (
+    CheckResult,
+    check_arbdefective_coloring,
+    check_mis,
+    check_proper_coloring,
+    check_ruling_set,
+    check_sinkless_orientation,
+    check_x_maximal_y_matching,
+)
+from repro.local.measurement import EngineProbe, Measurement, timed
+from repro.local.network import Network
+from repro.local.simulator import RoundTrace, RunResult
+from repro.utils import InvalidParameterError
+
+
+def _check_matching(graph: nx.Graph, spec: ProblemSpec, solution) -> CheckResult:
+    return check_x_maximal_y_matching(
+        graph,
+        solution,
+        x=spec.param("x", 0),
+        y=spec.param("y", 1),
+        # The spec's Δ is the problem parameter; only when the spec omits
+        # it does the checker fall back to the graph's max degree.
+        delta=spec.param("delta"),
+    )
+
+
+def _check_maximal_matching(
+    graph: nx.Graph, spec: ProblemSpec, solution
+) -> CheckResult:
+    return check_x_maximal_y_matching(graph, solution, x=0, y=1)
+
+
+def _check_mis(graph: nx.Graph, spec: ProblemSpec, solution) -> CheckResult:
+    return check_mis(graph, solution)
+
+
+def _check_coloring(graph: nx.Graph, spec: ProblemSpec, solution) -> CheckResult:
+    result = check_proper_coloring(graph, solution)
+    colors = spec.param("colors")
+    if result and colors is not None:
+        used = len(set(solution.values()))
+        if used > colors:
+            return CheckResult(
+                valid=False,
+                reason=f"uses {used} colors > c = {colors} of the spec",
+            )
+    return result
+
+
+def _check_ruling(graph: nx.Graph, spec: ProblemSpec, solution) -> CheckResult:
+    return check_ruling_set(
+        graph, solution, beta=spec.param("beta", 1), independent=True
+    )
+
+
+def _check_arbdefective(
+    graph: nx.Graph, spec: ProblemSpec, solution
+) -> CheckResult:
+    # Spec parameters take precedence over the solution's self-declared
+    # ones, and the claimed α is capped by the family's ⌊Δ/c⌋ — a
+    # solution must not be able to certify itself by inflating α.
+    colors = spec.param("colors", solution["colors"])
+    alpha = solution["alpha"]
+    delta = spec.param("delta")
+    if delta is not None and colors:
+        alpha_cap = delta // colors
+        if alpha > alpha_cap:
+            return CheckResult(
+                valid=False,
+                reason=f"claimed α = {alpha} exceeds ⌊Δ/c⌋ = {alpha_cap}",
+            )
+    return check_arbdefective_coloring(
+        graph,
+        solution["color_of"],
+        solution["orientation"],
+        alpha,
+        colors,
+    )
+
+
+def _check_orientation(graph: nx.Graph, spec: ProblemSpec, solution) -> CheckResult:
+    return check_sinkless_orientation(graph, solution)
+
+
+#: Family → checker(graph, spec, solution) used by check() and solve().
+FAMILY_CHECKERS: dict[
+    str, Callable[[nx.Graph, ProblemSpec, object], CheckResult]
+] = {
+    "matching": _check_matching,
+    "maximal-matching": _check_maximal_matching,
+    "mis": _check_mis,
+    "coloring": _check_coloring,
+    "ruling-set": _check_ruling,
+    "arbdefective": _check_arbdefective,
+    "sinkless-orientation": _check_orientation,
+}
+
+
+def _family_check(spec: ProblemSpec, graph: nx.Graph, solution) -> CheckResult:
+    try:
+        checker = FAMILY_CHECKERS[spec.family]
+    except KeyError:
+        raise InvalidParameterError(
+            f"no validity checker registered for family {spec.family!r}; "
+            f"checkable families: {sorted(FAMILY_CHECKERS)}"
+        ) from None
+    return checker(graph, spec, solution)
+
+
+def check(problem: ProblemSpec | str, graph, solution) -> CheckResult:
+    """Validate ``solution`` to ``problem`` on ``graph``.
+
+    Dispatches on the spec's family to the matching concrete checker;
+    accepts a :class:`Network` or a bare graph.
+    """
+    spec = ProblemSpec.parse(problem)
+    if isinstance(graph, Network):
+        graph = graph.graph
+    return _family_check(spec, graph, solution)
+
+
+def _resolve_network(
+    algorithm: Algorithm,
+    spec: ProblemSpec,
+    network: Network | None,
+    graph: nx.Graph | None,
+    n: int | None,
+    seed: int,
+) -> Network:
+    if network is not None and graph is not None:
+        raise InvalidParameterError("pass either network= or graph=, not both")
+    if network is not None:
+        return network
+    if graph is not None:
+        return Network(graph=graph)
+    return algorithm.default_network(spec, n=n, seed=seed)
+
+
+def _resolve_pair(
+    problem: ProblemSpec | str, algorithm: Algorithm | str
+) -> tuple[ProblemSpec, Algorithm]:
+    """Parse the spec and match it to the algorithm.
+
+    Parsing already range-validates parameters cheaply (see
+    :func:`repro.problems.registry.validate_parameters`); the formalism
+    problem itself is *not* built here — its condensed configurations
+    expand exponentially in Δ, and the façade never needs the expansion.
+    """
+    spec = ProblemSpec.parse(problem)
+    resolved = (
+        algorithm
+        if isinstance(algorithm, Algorithm)
+        else resolve_algorithm(algorithm)
+    )
+    if not resolved.supports(spec.family):
+        raise InvalidParameterError(
+            f"algorithm {resolved.name!r} does not solve family "
+            f"{spec.family!r} (it solves: {list(resolved.families)}); "
+            f"algorithms for {spec.family!r}: "
+            f"{available_algorithms(spec.family)}"
+        )
+    return spec, resolved
+
+
+def _execute(
+    algo: Algorithm,
+    spec: ProblemSpec,
+    net: Network,
+    eng: Engine,
+    *,
+    seed: int,
+    max_rounds: int,
+    options: dict,
+    probe: Callable[[RoundTrace], None] | None = None,
+) -> tuple[RunResult, Measurement]:
+    """Run ``algo`` on ``eng`` — the one execution path solve()/simulate()
+    share.
+
+    For a ``"global"``-kind algorithm the engine and probe are unused (no
+    message rounds exist to observe): the returned outputs are the
+    solution object and the measurement carries only the accounted
+    rounds.
+    """
+    if algo.kind != "message":
+        (solution, rounds), wall = timed(algo.run_global, net, spec, options, seed)
+        measurement = Measurement(
+            rounds=rounds,
+            wall_seconds=wall,
+            messages_delivered=0,
+            messages_dropped=0,
+            peak_live_nodes=0,
+        )
+        return RunResult(outputs=solution, rounds=rounds), measurement
+    program = algo.program(net, spec, options)
+    internal = EngineProbe()
+    observer: Callable[[RoundTrace], None] = internal
+    if probe is not None:
+        extern = probe
+
+        def observer(trace: RoundTrace) -> None:
+            internal(trace)
+            extern(trace)
+
+    result, wall = timed(
+        eng.run, net, program, seed=seed, max_rounds=max_rounds, probe=observer
+    )
+    return result, internal.summarize(wall_seconds=wall)
+
+
+def simulate(
+    problem: ProblemSpec | str,
+    *,
+    algorithm: Algorithm | str,
+    engine: Engine | str = DEFAULT_ENGINE,
+    network: Network | None = None,
+    graph: nx.Graph | None = None,
+    n: int | None = None,
+    seed: int = 0,
+    max_rounds: int = 10_000,
+    probe: Callable[[RoundTrace], None] | None = None,
+    **options,
+) -> tuple[RunResult, Measurement]:
+    """Run an algorithm on an engine; return raw (result, measurement).
+
+    No finalization, no checking — the low-level entry point.  See
+    :func:`_execute` for ``"global"``-kind semantics.
+    """
+    spec, algo = _resolve_pair(problem, algorithm)
+    eng = resolve_engine(engine)
+    net = _resolve_network(algo, spec, network, graph, n, seed)
+    return _execute(
+        algo, spec, net, eng,
+        seed=seed, max_rounds=max_rounds, options=options, probe=probe,
+    )
+
+
+def solve(
+    problem: ProblemSpec | str,
+    *,
+    algorithm: Algorithm | str,
+    engine: Engine | str = DEFAULT_ENGINE,
+    network: Network | None = None,
+    graph: nx.Graph | None = None,
+    n: int | None = None,
+    seed: int = 0,
+    max_rounds: int = 10_000,
+    check: bool = True,
+    **options,
+) -> SolveReport:
+    """Solve ``problem`` with ``algorithm`` on ``engine``; report everything.
+
+    When neither ``network`` nor ``graph`` is given, the algorithm's
+    default family network on ~``n`` nodes (seeded) is used.  Extra
+    keyword ``options`` are forwarded to the algorithm (e.g.
+    ``input_edges=...`` for ``"matching:proposal"``).  ``check=False``
+    skips validation (``report.valid`` is then ``None``).
+    """
+    spec, algo = _resolve_pair(problem, algorithm)
+    eng = resolve_engine(engine)
+    net = _resolve_network(algo, spec, network, graph, n, seed)
+    result, measurement = _execute(
+        algo, spec, net, eng, seed=seed, max_rounds=max_rounds, options=options
+    )
+    solution = (
+        algo.finalize(net, spec, options, result.outputs)
+        if algo.kind == "message"
+        else result.outputs
+    )
+    check_result = _family_check(spec, net.graph, solution) if check else None
+    return SolveReport(
+        problem=spec.spec,
+        family=spec.family,
+        algorithm=algo.name,
+        engine=eng.name,
+        seed=seed,
+        n=net.n,
+        rounds=result.rounds,
+        outputs=solution,
+        check=check_result,
+        messages_delivered=measurement.messages_delivered,
+        messages_dropped=measurement.messages_dropped,
+        peak_live_nodes=measurement.peak_live_nodes,
+        wall_seconds=measurement.wall_seconds,
+    )

@@ -1,0 +1,47 @@
+"""Default benchmark networks for each problem family.
+
+:func:`repro.api.solve` can be called with just a problem spec — no graph
+— and still return a meaningful report; this module supplies the network
+it runs on.  Each family gets a seeded random substrate shaped like the
+paper's experiments use it: matchings run on 2-colored bipartite double
+covers, sinkless orientation on a min-degree-2 graph (a tree component
+admits no sinkless orientation), everything else on a random Δ-regular
+graph.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.api.types import ProblemSpec
+from repro.graphs import bipartite_double_cover
+from repro.local.network import Network
+
+#: Node count used when the caller gives neither a graph nor ``n``.
+DEFAULT_N = 64
+
+
+def _random_regular(n: int, degree: int, seed: int) -> nx.Graph:
+    """A seeded random ``degree``-regular graph on ~``n`` nodes.
+
+    Adjusts ``n`` upward to the nearest feasible value (n > degree and
+    n·degree even).
+    """
+    n = max(n, degree + 1)
+    if (n * degree) % 2:
+        n += 1
+    return nx.random_regular_graph(degree, n, seed=seed)
+
+
+def family_network(spec: ProblemSpec, *, n: int | None, seed: int) -> Network:
+    """The default network for ``spec``'s family, on ~``n`` nodes."""
+    n = DEFAULT_N if n is None else n
+    delta = spec.param("delta", 3)
+    if spec.family in ("matching", "maximal-matching"):
+        # The §4 experiments run on 2-colored double covers; halve the
+        # base graph so the cover lands on ~n nodes.
+        base = _random_regular(max(n // 2, delta + 1), delta, seed)
+        return Network(graph=bipartite_double_cover(base))
+    if spec.family in ("sinkless-orientation", "sinkless-coloring"):
+        return Network(graph=_random_regular(n, max(delta, 2), seed))
+    return Network(graph=_random_regular(n, delta, seed))

@@ -1,0 +1,152 @@
+"""Core value types of the :mod:`repro.api` façade.
+
+Three small, dependency-light types shared by the registries, the engines
+and the façade functions:
+
+* :class:`ProblemSpec` — a parsed problem specification (family +
+  normalized parameters), resolvable to a formalism
+  :class:`~repro.formalism.problems.Problem` via the family registry;
+* :class:`MessagePassingProgram` — a fully-bound message-passing
+  computation (node factory, per-node knowledge, optional randomness),
+  the unit an :class:`~repro.api.engines.Engine` executes;
+* :class:`SolveReport` — the unified result of a façade
+  :func:`~repro.api.solve` call: rounds, outputs, check result, message
+  counters and timing, with a canonical JSON rendering.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.checkers import CheckResult
+from repro.formalism.problems import Problem
+from repro.local.network import Network
+from repro.local.simulator import NodeAlgorithm, NodeContext
+from repro.problems.registry import build_problem, normalize_parameters, parse_spec
+from repro.utils import InvalidParameterError
+from repro.utils.serialization import canonical_dumps
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """A problem family plus normalized constructor parameters.
+
+    Construct via :meth:`parse` (spec strings like
+    ``"matching:Δ=4,x=0,y=1"``) or :meth:`create` (keyword parameters).
+    Parameters are stored alias-resolved (``Δ`` → ``delta``) and sorted,
+    so equal specs compare and render equal.
+    """
+
+    family: str
+    params: tuple[tuple[str, int], ...] = ()
+
+    @classmethod
+    def parse(cls, problem: "ProblemSpec | str") -> "ProblemSpec":
+        """Coerce a spec string (or pass through a ProblemSpec)."""
+        if isinstance(problem, ProblemSpec):
+            return problem
+        if not isinstance(problem, str):
+            raise InvalidParameterError(
+                f"expected a problem spec string or ProblemSpec, "
+                f"got {type(problem).__name__}"
+            )
+        family, parameters = parse_spec(problem)
+        return cls(family=family, params=tuple(sorted(parameters.items())))
+
+    @classmethod
+    def create(cls, family: str, **parameters: int) -> "ProblemSpec":
+        """Build a spec from a family name and (possibly aliased) keywords."""
+        normalized = normalize_parameters(family, parameters)
+        return cls(family=family, params=tuple(sorted(normalized.items())))
+
+    @property
+    def parameters(self) -> dict[str, int]:
+        return dict(self.params)
+
+    def param(self, name: str, default: int | None = None) -> int | None:
+        return self.parameters.get(name, default)
+
+    @property
+    def spec(self) -> str:
+        """The canonical spec string (sorted, alias-free)."""
+        if not self.params:
+            return self.family
+        rendered = ",".join(f"{key}={value}" for key, value in self.params)
+        return f"{self.family}:{rendered}"
+
+    def build(self) -> Problem:
+        """The formalism problem this spec names (validates parameters)."""
+        return build_problem(self.family, **self.parameters)
+
+
+@dataclass(frozen=True)
+class MessagePassingProgram:
+    """A bound message-passing computation, ready for any engine.
+
+    ``factory`` builds one :class:`NodeAlgorithm` per node; ``extra``
+    injects per-node auxiliary knowledge; ``rng_streams`` (for randomized
+    algorithms) maps ``(network, seed)`` to a per-node random source in a
+    way that depends only on the network and seed — never on the engine —
+    so every backend draws identical randomness.
+    """
+
+    factory: Callable[[NodeContext], NodeAlgorithm]
+    extra: Callable[[object], dict] | None = None
+    rng_streams: (
+        Callable[[Network, int], Callable[[object], random.Random]] | None
+    ) = None
+
+
+@dataclass(frozen=True)
+class SolveReport:
+    """Everything one :func:`repro.api.solve` call observed.
+
+    ``outputs`` is the algorithm's finalized solution (a matching set, a
+    color dict, ...), not raw per-node engine outputs.  ``valid`` is the
+    check verdict (``None`` when checking was skipped).  ``engine`` and
+    ``wall_seconds`` describe *how* the run executed and are excluded
+    from :meth:`as_record`, whose canonical JSON must be byte-identical
+    across engine backends.
+    """
+
+    problem: str
+    family: str
+    algorithm: str
+    engine: str
+    seed: int
+    n: int
+    rounds: int
+    outputs: object
+    check: CheckResult | None
+    messages_delivered: int
+    messages_dropped: int
+    peak_live_nodes: int
+    wall_seconds: float = field(compare=False, default=0.0)
+
+    @property
+    def valid(self) -> bool | None:
+        """Check verdict: True/False, or None when checking was skipped."""
+        return None if self.check is None else bool(self.check)
+
+    def as_record(self) -> dict:
+        """The deterministic JSON-ready dict (engine and wall clock excluded)."""
+        return {
+            "problem": self.problem,
+            "family": self.family,
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "n": self.n,
+            "rounds": self.rounds,
+            "outputs": self.outputs,
+            "valid": self.valid,
+            "check_reason": "" if self.check is None else self.check.reason,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "peak_live_nodes": self.peak_live_nodes,
+        }
+
+    def canonical_json(self) -> str:
+        """Canonical serialization of :meth:`as_record` (engine-parity key)."""
+        return canonical_dumps(self.as_record())

@@ -3,9 +3,11 @@
 Commands:
 
 * ``list`` — suites and their scenarios;
-* ``run --suite NAME [--jobs N] [--seed K] [--out FILE] [--timings]`` —
-  execute a suite; canonical JSON goes to ``--out`` (or stdout), a human
-  summary table goes to stderr;
+* ``run --suite NAME [--jobs N] [--seed K] [--engine E] [--out FILE]
+  [--timings]`` — execute a suite; canonical JSON goes to ``--out`` (or
+  stdout), a human summary table goes to stderr; ``--engine`` retargets
+  every scenario to a :mod:`repro.api` backend (object/batched) without
+  changing the deterministic payload;
 * ``smoke [--jobs N] ...`` — shorthand for ``run --suite smoke``, the CI
   benchmark gate.
 
@@ -18,6 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.api.engines import available_engines
 from repro.experiments.registry import SUITES, suite_names
 from repro.experiments.runner import Runner
 from repro.utils.serialization import canonical_dumps, write_json
@@ -56,7 +59,7 @@ def _summarize(result) -> str:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    runner = Runner(jobs=args.jobs, seed=args.seed)
+    runner = Runner(jobs=args.jobs, seed=args.seed, engine=args.engine)
     result = runner.run_suite(args.suite)
     payload = result.payload(timings=args.timings)
     if args.out:
@@ -105,6 +108,11 @@ def _add_run_options(command: argparse.ArgumentParser) -> None:
                          help="worker processes (default: 1, serial)")
     command.add_argument("--seed", type=int, default=0,
                          help="base seed for scenario RNGs (default: 0)")
+    command.add_argument("--engine", default=None,
+                         choices=available_engines(),
+                         help="run every scenario on this repro.api engine "
+                         "backend (default: each scenario's own, normally "
+                         "'object'); results are engine-independent")
     command.add_argument("--out", default=None,
                          help="write canonical JSON here instead of stdout")
     command.add_argument("--timings", action="store_true",

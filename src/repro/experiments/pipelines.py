@@ -13,6 +13,11 @@ and the supplied RNG — never on wall-clock, process identity or execution
 order.  Wall-clock timing is measured by the runner *around* a pipeline
 (see :func:`repro.local.measurement.timed`), kept out of the records so
 serial and parallel runs serialize identically.
+
+Algorithm execution goes through the :func:`repro.api.solve` façade, so
+every scenario runs on the engine backend its :class:`Scenario` names
+(``scenario.engine``, the ``--engine`` dimension) — and, by the engine
+contract, produces identical records on all of them.
 """
 
 from __future__ import annotations
@@ -23,15 +28,7 @@ from collections.abc import Callable
 
 import networkx as nx
 
-from repro.algorithms import (
-    bipartite_maximal_matching,
-    class_sweep_arbdefective_coloring,
-    class_sweep_coloring,
-    luby_mis,
-    ruling_set_by_class_sweep,
-    supported_mis_by_coloring,
-)
-from repro.checkers import check_maximal_matching
+from repro.api import solve
 from repro.analysis import (
     classify_types,
     extract_coloring,
@@ -195,11 +192,20 @@ def matching_to_labels(graph: nx.Graph, matching: set) -> dict:
 def matching_proposal_sweep(scenario: Scenario, rng: random.Random) -> list[dict]:
     """Proposal-algorithm rounds vs the Theorem 4.1 bound, swept over Δ′."""
     cover = _require_family(scenario, rng)
+    delta = max(dict(cover.degree).values())
     checker = scenario.resolve_checker()
     records = []
     for delta_prime in scenario.sizes:
         input_edges = input_subgraph_of_degree(cover, delta_prime)
-        matching, rounds = bipartite_maximal_matching(cover, input_edges)
+        report = solve(
+            f"matching:Δ={delta},x=0,y=1",
+            algorithm="matching:proposal",
+            engine=scenario.engine,
+            graph=cover,
+            check=False,  # validity is judged on the input graph G′ below
+            input_edges=input_edges,
+        )
+        matching, rounds = report.outputs, report.rounds
         valid = True
         if checker is not None:
             input_graph = nx.Graph(tuple(edge) for edge in input_edges)
@@ -227,11 +233,16 @@ def matching_labels_example(scenario: Scenario, rng: random.Random) -> list[dict
     """Figure 3: a maximal matching rendered as M/O/P formalism labels."""
     cover = _require_family(scenario, rng)
     degree = max(dict(cover.degree).values())
-    input_edges = frozenset(frozenset(edge) for edge in cover.edges)
-    matching, rounds = bipartite_maximal_matching(cover, input_edges)
+    report = solve(
+        f"matching:Δ={degree},x=0,y=1",
+        algorithm="matching:proposal",
+        engine=scenario.engine,
+        graph=cover,
+    )
+    matching, rounds = report.outputs, report.rounds
     # The labeling is derived from the matching, so labeling validity
     # alone could mask a broken matching; check both independently.
-    matching_valid = bool(check_maximal_matching(cover, matching))
+    matching_valid = bool(report.valid)
     labeling = matching_to_labels(cover, matching)
     checker = scenario.resolve_checker()
     labeling_valid = True
@@ -341,7 +352,14 @@ def ruling_peeling(scenario: Scenario, rng: random.Random) -> list[dict]:
     graph = _require_family(scenario, rng)
     beta = scenario.option("beta", 2)
     delta = scenario.option("delta", 3)
-    selected, rounds = ruling_set_by_class_sweep(graph, beta=beta)
+    report = solve(
+        f"ruling-set:Δ={delta},c=1,β={beta}",
+        algorithm="ruling-set:class-sweep",
+        engine=scenario.engine,
+        graph=graph,
+        check=False,  # the scenario checker below validates domination
+    )
+    selected, rounds = report.outputs, report.rounds
     checker = scenario.resolve_checker()
     valid = True
     if checker is not None:
@@ -437,10 +455,16 @@ def arbdefective_extraction(scenario: Scenario, rng: random.Random) -> list[dict
     """Lemmas 5.9 + 5.10: Hall extraction and 2k-coloring, executed."""
     graph = _require_family(scenario, rng)
     delta = scenario.option("delta", 3)
-    base = class_sweep_coloring(graph)[0]
-    color_of, orientation, alpha, _rounds = class_sweep_arbdefective_coloring(
-        graph, {node: color + 1 for node, color in base.items()}, 2
+    report = solve(
+        f"arbdefective:Δ={delta},c=2",
+        algorithm="arbdefective:class-sweep",
+        engine=scenario.engine,
+        graph=graph,
+        check=False,  # the extraction below is what this pipeline validates
     )
+    color_of = report.outputs["color_of"]
+    orientation = report.outputs["orientation"]
+    alpha = report.outputs["alpha"]
     k = (alpha + 1) * 2
     labels = arbdefective_to_family_labels(graph, color_of, orientation, alpha)
     diagram = black_diagram(pi_arbdefective(delta, k))
@@ -475,7 +499,15 @@ def mis_supported(scenario: Scenario, rng: random.Random) -> list[dict]:
     """The χ_G-round Supported LOCAL MIS on a certified support graph."""
     graph = _require_family(scenario, rng)
     report = analyze_support_graph(graph)
-    mis, rounds = supported_mis_by_coloring(graph)
+    delta = max(dict(graph.degree).values())
+    solved = solve(
+        f"mis:Δ={delta}",
+        algorithm="mis:aapr23",
+        engine=scenario.engine,
+        graph=graph,
+        check=False,  # the scenario checker below validates the MIS
+    )
+    mis, rounds = solved.outputs, solved.rounds
     checker = scenario.resolve_checker()
     valid = True
     if checker is not None:
@@ -496,11 +528,20 @@ def mis_supported(scenario: Scenario, rng: random.Random) -> list[dict]:
 def mis_luby(scenario: Scenario, rng: random.Random) -> list[dict]:
     """Luby's randomized MIS — exercises the seeded randomized path."""
     graph = _require_family(scenario, rng)
+    delta = max(dict(graph.degree).values())
     checker = scenario.resolve_checker()
     records = []
     for _trial in range(scenario.option("trials", 1)):
         seed = rng.randrange(2**31)
-        mis, rounds = luby_mis(graph, seed=seed)
+        report = solve(
+            f"mis:Δ={delta}",
+            algorithm="mis:luby",
+            engine=scenario.engine,
+            graph=graph,
+            seed=seed,
+            check=False,  # the scenario checker below validates the MIS
+        )
+        mis, rounds = report.outputs, report.rounds
         valid = True
         if checker is not None:
             valid = bool(checker(graph, mis))

@@ -79,16 +79,26 @@ class SuiteResult:
 
 
 class Runner:
-    """Executes suites serially or across a process pool."""
+    """Executes suites serially or across a process pool.
 
-    def __init__(self, jobs: int = 1, seed: int = 0) -> None:
+    ``engine`` (when given) retargets every scenario to that
+    :mod:`repro.api` backend — the ``--engine`` dimension: any suite can
+    run on any backend, and the deterministic payload must not change.
+    """
+
+    def __init__(
+        self, jobs: int = 1, seed: int = 0, engine: str | None = None
+    ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.seed = seed
+        self.engine = engine
 
     def run_scenarios(self, suite: str, scenarios) -> SuiteResult:
         ordered = sorted(scenarios, key=lambda scenario: scenario.name)
+        if self.engine is not None:
+            ordered = [scenario.with_engine(self.engine) for scenario in ordered]
         tasks = [(scenario, self.seed) for scenario in ordered]
         if self.jobs == 1 or len(tasks) <= 1:
             results = [_worker(task) for task in tasks]

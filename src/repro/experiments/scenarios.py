@@ -13,7 +13,7 @@ Pipelines and graph families are referenced *by key*; the tables live in
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.checkers import (
     check_bipartite_solution,
@@ -40,7 +40,14 @@ CHECKERS = {
 
 @dataclass(frozen=True)
 class Scenario:
-    """One declarative experiment: family + sweep + pipeline + checker + seed."""
+    """One declarative experiment: family + sweep + pipeline + checker + seed.
+
+    ``engine`` names the :mod:`repro.api` execution backend pipelines run
+    their algorithms on.  It is an execution detail — like ``--jobs`` —
+    deliberately *excluded* from :meth:`describe`: the deterministic
+    payload must be byte-identical across engines (the engine-parity
+    guarantee CI enforces).
+    """
 
     name: str
     pipeline: str
@@ -49,6 +56,7 @@ class Scenario:
     checker: str | None = None
     seed: int = 0
     params: tuple[tuple[str, object], ...] = ()
+    engine: str = "object"
 
     @classmethod
     def create(
@@ -59,6 +67,7 @@ class Scenario:
         sizes: tuple[int, ...] = (),
         checker: str | None = None,
         seed: int = 0,
+        engine: str = "object",
         **params,
     ) -> "Scenario":
         """Build a scenario with keyword parameters given naturally."""
@@ -70,7 +79,12 @@ class Scenario:
             checker=checker,
             seed=seed,
             params=tuple(sorted(params.items())),
+            engine=engine,
         )
+
+    def with_engine(self, engine: str) -> "Scenario":
+        """The same scenario retargeted to another execution backend."""
+        return replace(self, engine=engine)
 
     @property
     def options(self) -> dict:
@@ -102,7 +116,12 @@ class Scenario:
             ) from None
 
     def describe(self) -> dict:
-        """The serializable identity block embedded in result payloads."""
+        """The serializable identity block embedded in result payloads.
+
+        ``engine`` is intentionally absent: records must not depend on
+        the backend, so identical runs on different engines serialize
+        byte-identically.
+        """
         return {
             "name": self.name,
             "pipeline": self.pipeline,

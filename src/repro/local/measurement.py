@@ -78,15 +78,24 @@ def timed(fn: Callable, *args, **kwargs) -> tuple[object, float]:
 def measured_run_synchronous(
     network: Network,
     factory: Callable[[NodeContext], NodeAlgorithm],
+    max_rounds: int = 10_000,
+    *,
+    engine: Callable[..., RunResult] = run_synchronous,
     **kwargs,
 ) -> tuple[RunResult, Measurement]:
     """:func:`run_synchronous` instrumented with an :class:`EngineProbe`.
 
     Accepts the same keyword arguments as ``run_synchronous`` (except
-    ``on_round``, which the probe occupies).
+    ``on_round``, which the probe occupies).  ``max_rounds`` is explicit —
+    not swallowed by ``**kwargs`` — because it is the non-termination
+    guard: a run that exceeds it raises
+    :class:`~repro.utils.SimulationError` instead of looping forever, and
+    harnesses routinely need to tighten it.  ``engine`` swaps in an
+    alternative execution backend with the same contract (e.g.
+    :func:`repro.local.batched.run_batched`).
     """
     probe = EngineProbe()
     (result, seconds) = timed(
-        run_synchronous, network, factory, on_round=probe, **kwargs
+        engine, network, factory, max_rounds=max_rounds, on_round=probe, **kwargs
     )
     return result, probe.summarize(wall_seconds=seconds)

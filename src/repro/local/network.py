@@ -45,6 +45,12 @@ class Network:
             node: {neighbor: port for port, neighbor in ports.items()}
             for node, ports in self._ports.items()
         }
+        # Cached at construction: the wrapper already freezes IDs/ports
+        # here, so the graph's structure must not change afterwards —
+        # and engines read Δ once per node, which must not cost O(n²).
+        self._max_degree = max(
+            (self.graph.degree(v) for v in self.graph.nodes), default=0
+        )
 
     @property
     def n(self) -> int:
@@ -52,7 +58,7 @@ class Network:
 
     @property
     def max_degree(self) -> int:
-        return max((self.graph.degree(v) for v in self.graph.nodes), default=0)
+        return self._max_degree
 
     def neighbors(self, node) -> list:
         """Neighbors in port order."""

@@ -1,0 +1,285 @@
+"""The repro.api façade: spec parsing, registries, solve/check/simulate."""
+
+import pytest
+
+from repro import api
+from repro.checkers import CheckResult
+from repro.graphs import bipartite_double_cover, cage
+from repro.local import Network, RunResult
+from repro.problems.registry import (
+    available_families,
+    build_problem,
+    build_problem_from_spec,
+    family_parameters,
+    parse_spec,
+)
+from repro.utils import InvalidParameterError
+
+
+class TestSpecParsing:
+    def test_aliases_resolve_to_constructor_names(self):
+        family, params = parse_spec("matching:Δ=4,x=0,y=1")
+        assert family == "matching"
+        assert params == {"delta": 4, "x": 0, "y": 1}
+
+    def test_plain_names_accepted(self):
+        family, params = parse_spec("ruling-set:delta=3,colors=1,beta=2")
+        assert (family, params) == ("ruling-set", {"delta": 3, "colors": 1, "beta": 2})
+
+    def test_parameterless_spec(self):
+        assert parse_spec("mis") == ("mis", {})
+
+    def test_unknown_family_lists_available(self):
+        with pytest.raises(InvalidParameterError) as exc:
+            parse_spec("matchings:Δ=4")
+        message = str(exc.value)
+        for family in available_families():
+            assert family in message
+
+    def test_unknown_parameter_lists_expected_names(self):
+        with pytest.raises(InvalidParameterError) as exc:
+            parse_spec("matching:Δ=4,z=1")
+        message = str(exc.value)
+        assert "z" in message
+        for name in family_parameters("matching"):
+            assert name in message
+
+    def test_malformed_item_rejected(self):
+        with pytest.raises(InvalidParameterError, match="malformed"):
+            parse_spec("matching:Δ4")
+
+    def test_non_integer_value_rejected(self):
+        with pytest.raises(InvalidParameterError, match="non-integer"):
+            parse_spec("matching:Δ=four")
+
+    def test_duplicate_after_aliasing_rejected(self):
+        with pytest.raises(InvalidParameterError, match="twice"):
+            parse_spec("matching:Δ=4,delta=5,x=0,y=1")
+
+    def test_build_problem_from_spec(self):
+        problem = build_problem_from_spec("matching:Δ=4,x=0,y=1")
+        assert problem.name == "Π_4(0,1)"
+
+    def test_build_problem_missing_parameters_lists_expected(self):
+        with pytest.raises(InvalidParameterError) as exc:
+            build_problem("coloring", delta=3)
+        message = str(exc.value)
+        assert "delta" in message and "colors" in message
+
+    def test_build_problem_accepts_aliases(self):
+        problem = build_problem("arbdefective", **{"Δ": 3, "c": 2})
+        assert problem.name.startswith("Π")
+
+
+class TestProblemSpec:
+    def test_parse_and_canonical_render(self):
+        spec = api.ProblemSpec.parse("matching:y=1,x=0,Δ=4")
+        assert spec.spec == "matching:delta=4,x=0,y=1"
+        assert spec.param("delta") == 4
+        assert api.ProblemSpec.parse(spec) is spec
+
+    def test_create_with_alias_keywords(self):
+        spec = api.ProblemSpec.create("ruling-set", **{"Δ": 3, "c": 1, "β": 2})
+        assert spec.parameters == {"delta": 3, "colors": 1, "beta": 2}
+
+    def test_out_of_range_parameters_rejected_at_parse(self):
+        """Range violations are caught without building the (exponentially
+        expanding) formalism problem."""
+        with pytest.raises(InvalidParameterError, match="x \\+ y"):
+            api.ProblemSpec.parse("matching:Δ=2,x=2,y=2")
+        with pytest.raises(InvalidParameterError, match="out of range"):
+            api.ProblemSpec.parse("coloring:Δ=1,c=2")
+        with pytest.raises(InvalidParameterError, match="out of range"):
+            api.ProblemSpec.parse("ruling-set:Δ=3,c=0,β=1")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(InvalidParameterError, match="spec"):
+            api.ProblemSpec.parse(42)
+
+
+class TestRegistries:
+    def test_all_six_algorithm_modules_registered(self):
+        names = api.available_algorithms()
+        assert {
+            "matching:proposal",
+            "mis:aapr23",
+            "mis:luby",
+            "coloring:class-sweep",
+            "ruling-set:class-sweep",
+            "arbdefective:class-sweep",
+            "sinkless-orientation:global",
+        } <= set(names)
+
+    def test_family_filter(self):
+        assert "matching:proposal" in api.available_algorithms("matching")
+        assert "matching:proposal" not in api.available_algorithms("mis")
+        assert "ruling-set:class-sweep" in api.available_algorithms("mis")
+
+    def test_unknown_algorithm_lists_registered(self):
+        with pytest.raises(InvalidParameterError, match="matching:proposal"):
+            api.resolve_algorithm("matching:nope")
+
+    def test_register_algorithm_validates(self):
+        class Nameless(api.Algorithm):
+            name = "no-colon"
+            families = ("mis",)
+
+        with pytest.raises(InvalidParameterError, match="family.*variant"):
+            api.register_algorithm(Nameless())
+
+        class NoFamilies(api.Algorithm):
+            name = "x:y"
+            families = ()
+
+        with pytest.raises(InvalidParameterError, match="families"):
+            api.register_algorithm(NoFamilies())
+
+    def test_engines_registered(self):
+        assert api.available_engines() == ["batched", "object"]
+        assert api.resolve_engine("object").name == "object"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(InvalidParameterError, match="batched"):
+            api.resolve_engine("gpu")
+
+
+class TestSolve:
+    def test_acceptance_call(self):
+        report = api.solve(
+            "matching:Δ=4,x=0,y=1",
+            algorithm="matching:proposal",
+            engine="batched",
+            seed=0,
+        )
+        assert isinstance(report, api.SolveReport)
+        assert report.valid is True
+        assert report.rounds > 0
+        assert report.engine == "batched"
+        assert report.n > 0
+        assert report.messages_delivered > 0
+
+    def test_family_algorithm_mismatch_names_compatible(self):
+        with pytest.raises(InvalidParameterError) as exc:
+            api.solve("mis:Δ=3", algorithm="matching:proposal")
+        assert "mis:aapr23" in str(exc.value)
+
+    def test_graph_and_network_are_exclusive(self):
+        graph, _d, _g = cage("petersen")
+        with pytest.raises(InvalidParameterError, match="not both"):
+            api.solve(
+                "mis:Δ=3",
+                algorithm="mis:aapr23",
+                graph=graph,
+                network=Network(graph=graph),
+            )
+
+    def test_check_false_skips_validation(self):
+        report = api.solve(
+            "mis:Δ=3", algorithm="mis:aapr23", n=16, check=False
+        )
+        assert report.valid is None
+        assert report.check is None
+        assert report.as_record()["valid"] is None
+
+    def test_explicit_graph_used(self):
+        graph, _d, _g = cage("petersen")
+        report = api.solve("mis:Δ=3", algorithm="mis:aapr23", graph=graph)
+        assert report.n == 10
+        assert report.valid is True
+
+    def test_options_forwarded(self):
+        graph, _d, _g = cage("heawood")
+        cover = bipartite_double_cover(graph)
+        u, v = next(iter(graph.edges))
+        single = frozenset({frozenset(((u, 0), (v, 1)))})
+        report = api.solve(
+            "maximal-matching:Δ=3",
+            algorithm="matching:proposal",
+            graph=cover,
+            check=False,
+            input_edges=single,
+        )
+        assert report.rounds == 2  # Δ' = 1: one phase of two rounds
+        assert report.outputs == single  # the lone input edge gets matched
+
+    def test_global_algorithm_zero_rounds(self):
+        report = api.solve(
+            "sinkless-orientation:Δ=3",
+            algorithm="sinkless-orientation:global",
+            n=16,
+        )
+        assert report.rounds == 0
+        assert report.valid is True
+        assert report.messages_delivered == 0
+
+    def test_as_record_excludes_execution_details(self):
+        report = api.solve(
+            "mis:Δ=3", algorithm="mis:aapr23", n=16
+        )
+        record = report.as_record()
+        assert "engine" not in record
+        assert "wall_seconds" not in record
+        assert record["rounds"] == report.rounds
+
+
+class TestCheck:
+    def test_valid_and_invalid_matching(self):
+        graph, _d, _g = cage("heawood")
+        cover = bipartite_double_cover(graph)
+        report = api.solve(
+            "maximal-matching:Δ=3", algorithm="matching:proposal", graph=cover
+        )
+        assert bool(api.check("maximal-matching:Δ=3", cover, report.outputs))
+        verdict = api.check("maximal-matching:Δ=3", cover, set())
+        assert isinstance(verdict, CheckResult)
+        assert not verdict
+        assert verdict.reason
+
+    def test_accepts_network(self):
+        graph, _d, _g = cage("petersen")
+        network = Network(graph=graph)
+        mis = api.solve("mis:Δ=3", algorithm="mis:aapr23", network=network)
+        assert bool(api.check("mis", network, mis.outputs))
+
+    def test_uncheckable_family_lists_checkable(self):
+        with pytest.raises(InvalidParameterError, match="checkable"):
+            api.check("outdegree-dominating:Δ=3,α=1", None, set())
+
+
+class TestSimulate:
+    def test_returns_raw_result_and_measurement(self):
+        result, measurement = api.simulate(
+            "mis:Δ=3", algorithm="mis:aapr23", n=16, seed=3
+        )
+        assert isinstance(result, RunResult)
+        assert measurement.rounds == result.rounds
+        assert measurement.messages_delivered > 0
+
+    def test_probe_observer_is_chained(self):
+        seen = []
+        result, measurement = api.simulate(
+            "mis:Δ=3",
+            algorithm="mis:aapr23",
+            n=16,
+            probe=seen.append,
+        )
+        assert len(seen) == result.rounds
+        assert measurement.rounds == result.rounds
+
+    def test_global_algorithm_simulates_directly(self):
+        result, measurement = api.simulate(
+            "ruling-set:Δ=3,c=1,β=2",
+            algorithm="ruling-set:class-sweep",
+            n=16,
+        )
+        assert isinstance(result.outputs, set)
+        assert measurement.rounds == result.rounds
+
+    def test_engine_validated_even_for_global_algorithms(self):
+        with pytest.raises(InvalidParameterError, match="unknown engine"):
+            api.simulate(
+                "ruling-set:Δ=3,c=1,β=2",
+                algorithm="ruling-set:class-sweep",
+                engine="warp",
+                n=16,
+            )

@@ -1,0 +1,100 @@
+"""Engine equivalence: every registered algorithm, on both engines, over
+seeded random graphs, produces identical outputs, round counts and
+canonical JSON — the contract that makes engines freely interchangeable."""
+
+import networkx as nx
+import pytest
+
+from repro import api
+
+#: (spec, algorithm) covering every registered algorithm at least once.
+CASES = [
+    ("matching:Δ=3,x=0,y=1", "matching:proposal"),
+    ("maximal-matching:Δ=4", "matching:proposal"),
+    ("mis:Δ=3", "mis:aapr23"),
+    ("mis:Δ=3", "mis:luby"),
+    ("mis:Δ=3", "ruling-set:class-sweep"),
+    ("coloring:Δ=3,c=4", "coloring:class-sweep"),
+    ("ruling-set:Δ=3,c=1,β=2", "ruling-set:class-sweep"),
+    ("arbdefective:Δ=4,c=2", "arbdefective:class-sweep"),
+    ("sinkless-orientation:Δ=3", "sinkless-orientation:global"),
+]
+
+
+def test_cases_cover_every_registered_algorithm():
+    assert {algorithm for _spec, algorithm in CASES} == set(
+        api.available_algorithms()
+    )
+
+
+@pytest.mark.parametrize("spec,algorithm", CASES)
+@pytest.mark.parametrize("seed", [0, 7])
+def test_identical_reports_on_default_random_networks(spec, algorithm, seed):
+    reports = {
+        engine: api.solve(
+            spec, algorithm=algorithm, engine=engine, seed=seed, n=40
+        )
+        for engine in api.available_engines()
+    }
+    reference = reports["object"]
+    assert reference.valid is True
+    for engine, report in reports.items():
+        assert report.outputs == reference.outputs, engine
+        assert report.rounds == reference.rounds, engine
+        assert report.messages_delivered == reference.messages_delivered, engine
+        assert report.messages_dropped == reference.messages_dropped, engine
+        assert report.canonical_json() == reference.canonical_json(), engine
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize("algorithm", ["mis:aapr23", "mis:luby"])
+def test_identical_reports_on_irregular_random_graphs(seed, algorithm):
+    """Parity must hold on non-regular graphs too (isolated nodes, mixed
+    degrees — the shapes the default regular substrates never produce)."""
+    graph = nx.gnp_random_graph(48, 0.08, seed=seed)
+    delta = max((d for _n, d in graph.degree), default=0)
+    reports = {
+        engine: api.solve(
+            f"mis:Δ={max(delta, 2)}",
+            algorithm=algorithm,
+            engine=engine,
+            graph=graph,
+            seed=seed,
+        )
+        for engine in api.available_engines()
+    }
+    reference = reports["object"]
+    assert reference.valid is True
+    for report in reports.values():
+        assert report.canonical_json() == reference.canonical_json()
+        assert report.outputs == reference.outputs
+
+
+@pytest.mark.parametrize("seed", [0, 5])
+def test_identical_matching_on_random_bipartite_subgraphs(seed):
+    """The proposal algorithm with a strict input subgraph G' ⊂ G."""
+    rng_graph = nx.random_regular_graph(4, 24, seed=seed)
+    from repro.graphs import bipartite_double_cover
+
+    cover = bipartite_double_cover(rng_graph)
+    edges = sorted(cover.edges, key=str)
+    input_edges = frozenset(
+        frozenset(edge) for index, edge in enumerate(edges) if index % 3 != 0
+    )
+    reports = {
+        engine: api.solve(
+            "matching:Δ=4,x=0,y=1",
+            algorithm="matching:proposal",
+            engine=engine,
+            graph=cover,
+            seed=seed,
+            check=False,
+            input_edges=input_edges,
+        )
+        for engine in api.available_engines()
+    }
+    reference = reports["object"]
+    for report in reports.values():
+        assert report.outputs == reference.outputs
+        assert report.rounds == reference.rounds
+        assert report.canonical_json() == reference.canonical_json()

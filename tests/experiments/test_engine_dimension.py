@@ -1,0 +1,70 @@
+"""The --engine dimension: any suite runs on any backend, payload unchanged."""
+
+import pytest
+
+from repro.experiments import Scenario, execute_scenario, get_scenario
+from repro.experiments.cli import main
+from repro.experiments.runner import Runner
+
+
+class TestScenarioEngineField:
+    def test_default_engine_is_object(self):
+        scenario = Scenario.create("s", pipeline="mis_supported")
+        assert scenario.engine == "object"
+
+    def test_with_engine_retargets(self):
+        scenario = Scenario.create("s", pipeline="mis_supported")
+        retargeted = scenario.with_engine("batched")
+        assert retargeted.engine == "batched"
+        assert retargeted.name == scenario.name
+
+    def test_engine_excluded_from_describe(self):
+        """The engine is an execution detail: identical runs on different
+        backends must serialize byte-identically, so it never enters the
+        deterministic payload."""
+        scenario = Scenario.create("s", pipeline="mis_supported", engine="batched")
+        assert "engine" not in scenario.describe()
+
+
+class TestEngineParityThroughPipelines:
+    @pytest.mark.parametrize(
+        "suite,name",
+        [
+            ("mis", "luby-petersen"),
+            ("mis", "aapr23-petersen"),
+            ("matching", "thm41-proposal-sweep"),
+        ],
+    )
+    def test_scenario_payload_identical_across_engines(self, suite, name):
+        scenario = get_scenario(suite, name)
+        payloads = {
+            engine: execute_scenario(scenario.with_engine(engine)).payload()
+            for engine in ("object", "batched")
+        }
+        assert payloads["object"] == payloads["batched"]
+        assert payloads["object"]["ok"] is True
+
+
+class TestRunnerAndCli:
+    def test_runner_engine_override(self):
+        scenario = get_scenario("mis", "aapr23-petersen")
+        reference = Runner(jobs=1).run_scenarios("mis", [scenario])
+        retargeted = Runner(jobs=1, engine="batched").run_scenarios(
+            "mis", [scenario]
+        )
+        assert retargeted.results[0].scenario.engine == "batched"
+        assert retargeted.payload() == reference.payload()
+
+    def test_cli_engine_flag(self, tmp_path):
+        first = tmp_path / "object.json"
+        second = tmp_path / "batched.json"
+        assert main(["run", "--suite", "ruling_sets", "--engine", "object",
+                     "--out", str(first)]) == 0
+        assert main(["run", "--suite", "ruling_sets", "--engine", "batched",
+                     "--out", str(second)]) == 0
+        assert first.read_text() == second.read_text()
+
+    def test_cli_rejects_unknown_engine(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--suite", "mis", "--engine", "warp"])
+        assert "invalid choice" in capsys.readouterr().err

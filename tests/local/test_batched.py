@@ -1,0 +1,212 @@
+"""The batched engine: flat compilation plus equivalence with the object
+engine on the simulator's own protocol guarantees."""
+
+import pytest
+
+from repro.graphs import cage, cycle
+from repro.local import (
+    EngineProbe,
+    FlatNetwork,
+    Network,
+    NodeAlgorithm,
+    measured_run_synchronous,
+    run_batched,
+    run_synchronous,
+)
+from repro.utils import SimulationError
+
+ENGINES = [run_synchronous, run_batched]
+
+
+class _EchoIds(NodeAlgorithm):
+    """One round: send own ID, collect neighbor IDs, halt."""
+
+    def init(self):
+        self.collected = {}
+
+    def send(self):
+        return {port: self.ctx.node_id for port in self.ctx.ports}
+
+    def receive(self, messages):
+        self.collected = dict(messages)
+        self.halt(sorted(self.collected.values()))
+
+
+class _InitHalter(NodeAlgorithm):
+    """Halts during init() when told to; otherwise pings all neighbors once."""
+
+    def init(self):
+        if self.ctx.extra["halts_in_init"]:
+            self.halt("init-halted")
+
+    def send(self):
+        return {port: "ping" for port in self.ctx.ports}
+
+    def receive(self, messages):
+        self.halt(sorted(messages.values()))
+
+
+class TestFlatNetwork:
+    def test_csr_arrays_match_port_maps(self):
+        graph, _d, _g = cage("petersen")
+        network = Network(graph=graph)
+        flat = FlatNetwork.from_network(network)
+        index = {node: i for i, node in enumerate(flat.nodes)}
+        for i, node in enumerate(flat.nodes):
+            degree = network.graph.degree(node)
+            assert flat.indptr[i + 1] - flat.indptr[i] == degree
+            for port in range(1, degree + 1):
+                k = flat.indptr[i] + port - 1
+                neighbor = network.via_port(node, port)
+                assert flat.dest[k] == index[neighbor]
+                assert flat.back_port[k] == network.port_to(neighbor, node)
+
+    def test_of_is_memoized_per_network(self):
+        network = Network(graph=cycle(5))
+        assert FlatNetwork.of(network) is FlatNetwork.of(network)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestBatchedProtocol:
+    """Both engines honor the same protocol contracts."""
+
+    def test_one_round_id_exchange(self, engine):
+        network = Network(graph=cycle(4))
+        result = engine(network, _EchoIds)
+        assert result.rounds == 1
+        for node in network.graph.nodes:
+            expected = sorted(
+                network.ids[neighbor] for neighbor in network.graph.neighbors(node)
+            )
+            assert result.outputs[node] == expected
+
+    def test_nonhalting_algorithm_detected(self, engine):
+        class Forever(NodeAlgorithm):
+            pass
+
+        network = Network(graph=cycle(3))
+        with pytest.raises(SimulationError, match="did not halt"):
+            engine(network, Forever, max_rounds=5)
+
+    def test_invalid_port_detected(self, engine):
+        class BadPort(NodeAlgorithm):
+            def send(self):
+                return {99: "boom"}
+
+            def receive(self, messages):
+                self.halt(None)
+
+        network = Network(graph=cycle(3))
+        with pytest.raises(SimulationError, match="invalid ports"):
+            engine(network, BadPort)
+
+    def test_float_port_equal_to_int_delivered(self, engine):
+        """The object engine's set-membership check admits 1.0 as port 1;
+        the batched engine must agree (engine-parity contract)."""
+
+        class FloatPort(NodeAlgorithm):
+            def send(self):
+                return {1.0: "hello"}
+
+            def receive(self, messages):
+                self.halt(dict(messages))
+
+        result = engine(Network(graph=cycle(3)), FloatPort)
+        reference = run_synchronous(Network(graph=cycle(3)), FloatPort)
+        assert result.outputs == reference.outputs
+        assert sum(len(v) for v in result.outputs.values()) == 3  # delivered
+
+    def test_fractional_and_nonnumeric_ports_stray(self, engine):
+        for bad_port in (1.5, "x"):
+
+            class BadPort(NodeAlgorithm):
+                def send(self, _p=bad_port):
+                    return {_p: "boom"}
+
+                def receive(self, messages):
+                    self.halt(None)
+
+            network = Network(graph=cycle(3))
+            with pytest.raises(SimulationError, match="invalid ports"):
+                engine(network, BadPort)
+
+    def test_halting_during_send_with_messages_rejected(self, engine):
+        class SilenceViolator(NodeAlgorithm):
+            def send(self):
+                self.halt("done")
+                return {port: "x" for port in self.ctx.ports}
+
+        network = Network(graph=cycle(3))
+        with pytest.raises(SimulationError, match="halted during send"):
+            engine(network, SilenceViolator)
+
+    def test_all_nodes_halting_in_init_is_a_zero_round_run(self, engine):
+        network = Network(graph=cycle(5))
+        result = engine(
+            network, _InitHalter, extra=lambda node: {"halts_in_init": True}
+        )
+        assert result.rounds == 0
+        assert set(result.outputs.values()) == {"init-halted"}
+
+
+class TestEngineTraceEquivalence:
+    """Identical outputs AND identical per-round traces on both engines."""
+
+    @pytest.mark.parametrize("halted_parity", [0, 1])
+    def test_init_halt_traces_match(self, halted_parity):
+        def run(engine):
+            network = Network(graph=cycle(6))
+            probe = EngineProbe()
+            result = engine(
+                network,
+                _InitHalter,
+                extra=lambda node: {
+                    "halts_in_init": node % 2 == halted_parity
+                },
+                on_round=probe,
+            )
+            return result, probe.traces
+
+        object_result, object_traces = run(run_synchronous)
+        batched_result, batched_traces = run(run_batched)
+        assert object_result == batched_result
+        assert object_traces == batched_traces
+
+    def test_dropped_messages_counted_identically(self):
+        network = Network(graph=cycle(4))
+        halted_nodes = {node for node in network.graph.nodes if node % 2 == 0}
+        result, measurement = measured_run_synchronous(
+            network,
+            _InitHalter,
+            engine=run_batched,
+            extra=lambda node: {"halts_in_init": node in halted_nodes},
+        )
+        assert result.rounds == 1
+        assert measurement.messages_delivered == 0
+        assert measurement.messages_dropped == 4  # 2 live nodes x 2 ports
+
+
+class TestMeasuredRunMaxRounds:
+    """max_rounds is an explicit guard threaded through the measured entry
+    point (not swallowed by **kwargs), on both engines."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_non_terminating_run_raises(self, engine):
+        class Forever(NodeAlgorithm):
+            def send(self):
+                return {}
+
+            def receive(self, messages):
+                pass
+
+        network = Network(graph=cycle(3))
+        with pytest.raises(SimulationError, match="did not halt within 7"):
+            measured_run_synchronous(
+                network, Forever, max_rounds=7, engine=engine
+            )
+
+    def test_default_guard_is_finite(self):
+        import inspect
+
+        signature = inspect.signature(measured_run_synchronous)
+        assert signature.parameters["max_rounds"].default == 10_000
