@@ -1,0 +1,247 @@
+"""ROUNDELIM — reference vs bitmask-kernel round elimination operators.
+
+The acceptance claim of the ``repro.roundelim.kernel`` subsystem: on the
+paper's problem families at growing Δ, the bitmask-compiled engine
+computes ``round_elimination`` several times faster than the reference
+string-domain implementation while producing the *identical*
+``Problem`` — and at least **4×** faster on the Δ=4 matching RE step
+(``Π_4(0,1)``), the step every diagram/sequence benchmark iterates.
+
+Dual mode:
+
+* ``pytest benchmarks/bench_roundelim_kernel.py`` — asserts the 4×
+  criterion and output identity;
+* ``python benchmarks/bench_roundelim_kernel.py [--smoke] [--out F]
+  [--baseline F] [--tolerance 0.25]`` — measures the workload matrix,
+  writes ``BENCH_roundelim.json`` (canonical schema: workload, n,
+  wall-time per engine, speedup) and exits non-zero when the 4×
+  criterion fails or any speedup regresses more than ``--tolerance``
+  versus a checked-in baseline (speedups are compared, not absolute
+  seconds, so the gate is machine-portable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.problems import maximal_matching_problem, pi_matching, pi_ruling
+from repro.roundelim import round_elimination
+from repro.utils.serialization import canonical_dumps
+from repro.utils.tables import print_table
+
+SCHEMA = "repro.bench/roundelim/v1"
+
+#: The acceptance criterion: kernel ≥ 4× reference on Δ=4 matching RE.
+CRITERION_WORKLOAD = ("matching", 4)
+CRITERION_SPEEDUP = 4.0
+
+#: (workload key, n, problem factory).  ``n`` is the family's Δ.
+WORKLOADS = {
+    "smoke": (
+        ("matching", 3, lambda: pi_matching(3, 0, 1)),
+        ("matching", 4, lambda: pi_matching(4, 0, 1)),
+        ("maximal-matching", 3, lambda: maximal_matching_problem(3)),
+        ("maximal-matching", 4, lambda: maximal_matching_problem(4)),
+    ),
+    "full": (
+        ("matching", 3, lambda: pi_matching(3, 0, 1)),
+        ("matching", 4, lambda: pi_matching(4, 0, 1)),
+        ("matching", 5, lambda: pi_matching(5, 0, 1)),
+        ("maximal-matching", 3, lambda: maximal_matching_problem(3)),
+        ("maximal-matching", 4, lambda: maximal_matching_problem(4)),
+        ("ruling-set", 3, lambda: pi_ruling(3, 1, 2)),
+    ),
+}
+
+
+#: A single run above this duration is measured once — repeating a
+#: multi-second workload adds runtime, not precision.
+HEAVY_CUTOFF_SECONDS = 2.0
+
+#: Workloads whose reference side runs faster than this are reported but
+#: excluded from the baseline regression gate: millisecond-scale ratios
+#: are too noisy on shared CI runners to gate on.
+MIN_GATE_SECONDS = 0.05
+
+
+def _best_of(problem, engine: str, repeats: int) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = round_elimination(problem, engine=engine)
+        best = min(best, time.perf_counter() - start)
+        if best > HEAVY_CUTOFF_SECONDS:
+            break
+    return best, result
+
+
+def measure(mode: str, repeats: int = 3) -> dict:
+    """Run the workload matrix; returns the BENCH_roundelim payload.
+
+    Every workload also cross-checks that both engines produce the
+    identical problem — a benchmark that silently compared different
+    outputs would be meaningless.
+    """
+    records = []
+    for workload, n, factory in WORKLOADS[mode]:
+        problem = factory()
+        reference_seconds, reference_out = _best_of(problem, "reference", repeats)
+        kernel_seconds, kernel_out = _best_of(problem, "kernel", repeats)
+        if reference_out != kernel_out:
+            raise AssertionError(
+                f"engine outputs differ on {workload} n={n} — benchmark void"
+            )
+        records.append(
+            {
+                "workload": workload,
+                "n": n,
+                "reference_seconds": round(reference_seconds, 6),
+                "kernel_seconds": round(kernel_seconds, 6),
+                "speedup": round(reference_seconds / kernel_seconds, 3),
+            }
+        )
+    return {
+        "schema": SCHEMA,
+        "mode": mode,
+        "criterion": {
+            "workload": CRITERION_WORKLOAD[0],
+            "n": CRITERION_WORKLOAD[1],
+            "min_speedup": CRITERION_SPEEDUP,
+        },
+        "workloads": records,
+    }
+
+
+def criterion_speedup(payload: dict) -> float:
+    for record in payload["workloads"]:
+        if (record["workload"], record["n"]) == CRITERION_WORKLOAD:
+            return record["speedup"]
+    raise AssertionError(
+        f"criterion workload {CRITERION_WORKLOAD} missing from payload"
+    )
+
+
+def compare_with_baseline(payload: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Regression messages for every workload whose speedup dropped more
+    than ``tolerance`` (fraction) below the baseline's.
+
+    Millisecond-scale workloads (reference side under
+    ``MIN_GATE_SECONDS``) are skipped — their ratios are dominated by
+    scheduler noise on shared runners.
+    """
+    baseline_speedups = {
+        (record["workload"], record["n"]): record["speedup"]
+        for record in baseline.get("workloads", ())
+    }
+    problems = []
+    for record in payload["workloads"]:
+        key = (record["workload"], record["n"])
+        expected = baseline_speedups.get(key)
+        if expected is None or record["reference_seconds"] < MIN_GATE_SECONDS:
+            continue
+        floor = expected * (1.0 - tolerance)
+        if record["speedup"] < floor:
+            problems.append(
+                f"{key[0]} n={key[1]}: speedup {record['speedup']:.2f}x < "
+                f"{floor:.2f}x (baseline {expected:.2f}x - {tolerance:.0%})"
+            )
+    return problems
+
+
+def _print(payload: dict) -> None:
+    print_table(
+        ["workload", "n", "reference (s)", "kernel (s)", "speedup"],
+        [
+            (
+                record["workload"],
+                record["n"],
+                f"{record['reference_seconds']:.4f}",
+                f"{record['kernel_seconds']:.4f}",
+                f"{record['speedup']:.2f}x",
+            )
+            for record in payload["workloads"]
+        ],
+        title="ROUNDELIM: reference vs bitmask kernel, identical outputs",
+    )
+
+
+# --------------------------------------------------------------------------
+# pytest entry points
+# --------------------------------------------------------------------------
+
+
+def test_kernel_speedup_delta4_matching():
+    """The tentpole performance criterion: ≥ 4× on the Δ=4 matching RE
+    step, with output identity cross-checked inside ``measure``."""
+    payload = measure("smoke")
+    _print(payload)
+    speedup = criterion_speedup(payload)
+    assert speedup >= CRITERION_SPEEDUP, (
+        f"kernel only {speedup:.2f}x on Δ=4 matching; criterion is "
+        f"{CRITERION_SPEEDUP}x"
+    )
+
+
+def test_engines_identical_on_ruling_family():
+    """Output identity on a non-matching family (the ruling-set Δ=3,β=1
+    instance keeps this fast)."""
+    problem = pi_ruling(3, 1, 1)
+    assert round_elimination(problem, engine="reference") == round_elimination(
+        problem, engine="kernel"
+    )
+
+
+# --------------------------------------------------------------------------
+# CLI
+# --------------------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="fast workload subset (the CI gate)"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_roundelim.json", help="result JSON path"
+    )
+    parser.add_argument(
+        "--baseline", default=None, help="baseline JSON to gate regressions against"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional speedup regression vs baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of repeats per engine"
+    )
+    args = parser.parse_args(argv)
+
+    mode = "smoke" if args.smoke else "full"
+    payload = measure(mode, repeats=args.repeats)
+    _print(payload)
+    Path(args.out).write_text(canonical_dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}", file=sys.stderr)
+
+    failures = []
+    speedup = criterion_speedup(payload)
+    if speedup < CRITERION_SPEEDUP:
+        failures.append(
+            f"criterion: Δ=4 matching speedup {speedup:.2f}x < {CRITERION_SPEEDUP}x"
+        )
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        failures.extend(compare_with_baseline(payload, baseline, args.tolerance))
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

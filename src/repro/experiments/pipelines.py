@@ -267,12 +267,21 @@ def matching_labels_example(scenario: Scenario, rng: random.Random) -> list[dict
 
 @pipeline("matching_sequence_steps")
 def matching_sequence_steps(scenario: Scenario, rng: random.Random) -> list[dict]:
-    """Lemma 4.5 steps: RE(Π_Δ(x,y)) relaxes to Π_Δ(x+y,y), certified."""
+    """Lemma 4.5 steps: RE(Π_Δ(x,y)) relaxes to Π_Δ(x+y,y), certified.
+
+    ``re_engine`` selects the round elimination backend
+    (``kernel``/``reference``); records are engine-independent by the
+    operator contract, so scenarios differing only in ``re_engine``
+    cross-check the two implementations end to end.
+    """
     x = scenario.option("x", 0)
     y = scenario.option("y", 1)
+    re_engine = scenario.option("re_engine", "kernel")
     records = []
     for delta in scenario.sizes:
-        source, _ = compress_labels(round_elimination(pi_matching(delta, x, y)))
+        source, _ = compress_labels(
+            round_elimination(pi_matching(delta, x, y), engine=re_engine)
+        )
         target = pi_matching(delta, x + y, y)
         label_map = find_label_relaxation(source, target)
         config_map = find_config_map_relaxation(source, target)
@@ -299,10 +308,13 @@ def matching_full_sequence(scenario: Scenario, rng: random.Random) -> list[dict]
     delta = scenario.option("delta", 4)
     x = scenario.option("x", 0)
     y = scenario.option("y", 1)
+    re_engine = scenario.option("re_engine", "kernel")
     records = []
     for steps in scenario.sizes:
         problems = matching_sequence_problems(delta, x, y, steps=steps)
-        witnesses = LowerBoundSequence(problems=tuple(problems)).verify()
+        witnesses = LowerBoundSequence(problems=tuple(problems)).verify(
+            engine=re_engine
+        )
         records.append(
             {
                 "delta": delta,
@@ -416,9 +428,10 @@ def ruling_peeling(scenario: Scenario, rng: random.Random) -> list[dict]:
 def arbdefective_fixed_points(scenario: Scenario, rng: random.Random) -> list[dict]:
     """Lemma 5.4: RE(Π_Δ(k)) ≅ Π_Δ(k), run literally over a Δ sweep."""
     k = scenario.option("k", 2)
+    re_engine = scenario.option("re_engine", "kernel")
     records = []
     for delta in scenario.sizes:
-        fixed = is_fixed_point(pi_arbdefective(delta, k))
+        fixed = is_fixed_point(pi_arbdefective(delta, k), engine=re_engine)
         records.append({"delta": delta, "k": k, "fixed_point": fixed, "valid": fixed})
     return records
 
@@ -582,10 +595,13 @@ def mis_parameters(scenario: Scenario, rng: random.Random) -> list[dict]:
 @pipeline("re_step_census")
 def re_step_census(scenario: Scenario, rng: random.Random) -> list[dict]:
     """Alphabet/configuration growth of one RE step on MM_Δ."""
+    re_engine = scenario.option("re_engine", "kernel")
     records = []
     for delta in scenario.sizes:
         problem = maximal_matching_problem(delta)
-        eliminated, _mapping = compress_labels(round_elimination(problem))
+        eliminated, _mapping = compress_labels(
+            round_elimination(problem, engine=re_engine)
+        )
         records.append(
             {
                 "delta": delta,
@@ -604,6 +620,7 @@ def speedup_b2(scenario: Scenario, rng: random.Random) -> list[dict]:
     validated on every admissible input graph of the support."""
     graph = _require_family(scenario, rng)
     edge_limit = scenario.option("edge_limit", 8)
+    re_engine = scenario.option("re_engine", "kernel")
     problem = maximal_matching_problem(2)
     lifted = lift(problem, 2, 2)
     solution = solve_bipartite(graph, lifted.to_problem())
@@ -616,7 +633,7 @@ def speedup_b2(scenario: Scenario, rng: random.Random) -> list[dict]:
     one_round_ok = is_correct_one_round(
         graph, one_round_rule, problem, edge_limit=edge_limit
     )
-    r_problem = apply_R(problem)
+    r_problem = apply_R(problem, engine=re_engine)
     checked = passed = 0
     for input_edges in admissible_subgraphs(graph, 2, 2, edge_limit=edge_limit):
         derived = derive_zero_round_black_algorithm(

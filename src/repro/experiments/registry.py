@@ -41,6 +41,18 @@ SUITES: dict[str, tuple[Scenario, ...]] = {
             x=1,
             y=1,
         ),
+        # Same Lemma 4.5 step on the reference engine: the records must
+        # match lem45-steps-x0's first entry byte-for-byte (the RE
+        # engine contract, asserted by
+        # tests/experiments/test_re_engine_dimension.py).
+        Scenario.create(
+            "lem45-steps-reference-engine",
+            pipeline="matching_sequence_steps",
+            sizes=(3,),
+            x=0,
+            y=1,
+            re_engine="reference",
+        ),
         Scenario.create(
             "cor46-full-sequence",
             pipeline="matching_full_sequence",
@@ -129,11 +141,26 @@ SUITES: dict[str, tuple[Scenario, ...]] = {
             pipeline="re_step_census",
             sizes=(2, 3),
         ),
+        # The kernel-vs-reference dimension: identical records from both
+        # engines on the same census sweep.
+        Scenario.create(
+            "re-step-census-reference-engine",
+            pipeline="re_step_census",
+            sizes=(2, 3),
+            re_engine="reference",
+        ),
         Scenario.create(
             "thmb2-speedup",
             pipeline="speedup_b2",
             family="marked_cycle:8",
             edge_limit=8,
+        ),
+        Scenario.create(
+            "thmb2-speedup-reference-engine",
+            pipeline="speedup_b2",
+            family="marked_cycle:8",
+            edge_limit=8,
+            re_engine="reference",
         ),
     ),
     # The CI gate: one fast scenario per family, sized for < 60 s total.
@@ -180,6 +207,12 @@ SUITES: dict[str, tuple[Scenario, ...]] = {
             "smoke-re-census",
             pipeline="re_step_census",
             sizes=(2,),
+        ),
+        Scenario.create(
+            "smoke-re-census-reference-engine",
+            pipeline="re_step_census",
+            sizes=(2,),
+            re_engine="reference",
         ),
     ),
 }

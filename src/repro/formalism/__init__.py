@@ -24,6 +24,13 @@ from repro.formalism.diagrams import (
     successors_closure,
     white_diagram,
 )
+from repro.formalism.encoding import (
+    ConstraintTable,
+    LabelEncoding,
+    ProblemEncoding,
+    bits_of,
+    mask_sort_key,
+)
 from repro.formalism.labels import (
     color_label,
     color_label_members,
@@ -49,8 +56,12 @@ __all__ = [
     "CondensedConfiguration",
     "Configuration",
     "Constraint",
+    "ConstraintTable",
     "Label",
+    "LabelEncoding",
     "Problem",
+    "ProblemEncoding",
+    "bits_of",
     "black_diagram",
     "color_label",
     "color_label_members",
@@ -65,6 +76,7 @@ __all__ = [
     "is_relaxation_via_label_map",
     "is_right_closed",
     "is_set_label",
+    "mask_sort_key",
     "parse_condensed",
     "parse_configuration",
     "parse_constraint",

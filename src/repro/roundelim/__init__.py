@@ -7,6 +7,8 @@ from repro.roundelim.fixed_points import (
     is_fixed_point_up_to_relaxation,
 )
 from repro.roundelim.operators import (
+    DEFAULT_ENGINE,
+    ENGINES,
     apply_R,
     apply_R_bar,
     compress_labels,
@@ -22,6 +24,8 @@ from repro.roundelim.sequences import (
 )
 
 __all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "FixedPointReport",
     "LowerBoundSequence",
     "SequenceStepWitness",

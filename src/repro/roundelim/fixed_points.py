@@ -19,7 +19,12 @@ from dataclasses import dataclass
 from repro.formalism.configurations import Label
 from repro.formalism.problems import Problem
 from repro.formalism.relaxations import find_label_relaxation
-from repro.roundelim.operators import DEFAULT_BUDGET, compress_labels, round_elimination
+from repro.roundelim.operators import (
+    DEFAULT_BUDGET,
+    DEFAULT_ENGINE,
+    compress_labels,
+    round_elimination,
+)
 
 
 @dataclass(frozen=True)
@@ -43,10 +48,12 @@ class FixedPointReport:
 
 
 def analyze_fixed_point(
-    problem: Problem, budget: int = DEFAULT_BUDGET
+    problem: Problem, budget: int = DEFAULT_BUDGET, engine: str = DEFAULT_ENGINE
 ) -> FixedPointReport:
     """Run RE once and report how the output relates to the input."""
-    eliminated, _ = compress_labels(round_elimination(problem, budget=budget))
+    eliminated, _ = compress_labels(
+        round_elimination(problem, budget=budget, engine=engine)
+    )
     isomorphism = eliminated.find_isomorphism(problem)
     if isomorphism is not None:
         relaxation_map: dict[Label, Label] | None = dict(isomorphism)
@@ -60,13 +67,19 @@ def analyze_fixed_point(
     )
 
 
-def is_fixed_point(problem: Problem, budget: int = DEFAULT_BUDGET) -> bool:
+def is_fixed_point(
+    problem: Problem, budget: int = DEFAULT_BUDGET, engine: str = DEFAULT_ENGINE
+) -> bool:
     """True if RE(Π) is isomorphic to Π."""
-    return analyze_fixed_point(problem, budget=budget).is_exact_fixed_point
+    return analyze_fixed_point(
+        problem, budget=budget, engine=engine
+    ).is_exact_fixed_point
 
 
 def is_fixed_point_up_to_relaxation(
-    problem: Problem, budget: int = DEFAULT_BUDGET
+    problem: Problem, budget: int = DEFAULT_BUDGET, engine: str = DEFAULT_ENGINE
 ) -> bool:
     """True if Π is a relaxation of RE(Π) (Corollary 5.5's requirement)."""
-    return analyze_fixed_point(problem, budget=budget).is_relaxation_fixed_point
+    return analyze_fixed_point(
+        problem, budget=budget, engine=engine
+    ).is_relaxation_fixed_point

@@ -16,7 +16,20 @@ configurations is downward closed (component-wise), so every maximal
 configuration is reachable from a singleton seed {ℓ1}…{ℓ_dB} (one per
 allowed base configuration) by single-label additions, and a configuration
 is maximal iff no single addition keeps it valid.  The search memoizes
-canonical forms; a configurable budget guards against blow-up.
+canonical forms; a configurable budget guards against blow-up.  The
+budget counts every *popped* configuration — duplicates included — so a
+duplicate-heavy frontier cannot exceed it unbounded, and the seed order
+is explicitly sorted so the same budget raises at the same point in
+every process (hash randomization does not leak into the search order).
+
+Two interchangeable engines compute the operators:
+
+* ``"kernel"`` (default) — the bitmask-compiled search of
+  :mod:`repro.roundelim.kernel` over the integer domain of
+  :mod:`repro.formalism.encoding`; same outputs, same budget semantics,
+  several times faster (``benchmarks/bench_roundelim_kernel.py``).
+* ``"reference"`` — the direct string/frozenset implementation below,
+  kept as the executable specification the kernel is tested against.
 """
 
 from __future__ import annotations
@@ -29,17 +42,51 @@ from repro.formalism.configurations import Configuration, Label
 from repro.formalism.constraints import Constraint
 from repro.formalism.labels import set_label, set_label_members
 from repro.formalism.problems import Problem
-from repro.utils import SolverLimitError
+from repro.utils import InvalidParameterError, SolverLimitError
 from repro.utils.multiset import all_multisets
 
 SetConfig = tuple[frozenset[Label], ...]
 
 DEFAULT_BUDGET = 2_000_000
 
+#: The engines ``apply_R`` / ``apply_R_bar`` / ``round_elimination`` accept.
+ENGINES = ("kernel", "reference")
+
+DEFAULT_ENGINE = "kernel"
+
+
+def _validate_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise InvalidParameterError(
+            f"unknown round elimination engine {engine!r}; known: {list(ENGINES)}"
+        )
+
+
+#: Cache of per-slot sort keys.  Canonicalization sorts every slot of
+#: every candidate configuration; the same frozensets recur throughout a
+#: search, so the (len, sorted-tuple) key is computed once per distinct
+#: slot.  Cleared when it reaches ``_SLOT_KEY_CACHE_LIMIT`` entries so a
+#: long-lived process iterating RE over many problems cannot grow
+#: without bound (one Δ=5 matching step alone produces thousands of
+#: distinct label sets).
+_SLOT_KEY_CACHE: dict[frozenset, tuple[int, tuple[Label, ...]]] = {}
+
+_SLOT_KEY_CACHE_LIMIT = 500_000
+
+
+def _slot_sort_key(slot: frozenset[Label]) -> tuple[int, tuple[Label, ...]]:
+    key = _SLOT_KEY_CACHE.get(slot)
+    if key is None:
+        if len(_SLOT_KEY_CACHE) >= _SLOT_KEY_CACHE_LIMIT:
+            _SLOT_KEY_CACHE.clear()
+        key = (len(slot), tuple(sorted(slot)))
+        _SLOT_KEY_CACHE[slot] = key
+    return key
+
 
 def _canonical_set_config(slots: Iterator[frozenset[Label]] | SetConfig) -> SetConfig:
     """Canonical form of a multiset of label sets: sorted tuple."""
-    return tuple(sorted(slots, key=lambda slot: (len(slot), sorted(slot))))
+    return tuple(sorted(slots, key=_slot_sort_key))
 
 
 def _addition_valid(
@@ -62,32 +109,45 @@ def maximal_set_configurations(
     constraint: Constraint,
     alphabet: frozenset[Label],
     budget: int = DEFAULT_BUDGET,
+    engine: str = DEFAULT_ENGINE,
 ) -> frozenset[SetConfig]:
     """All maximal set configurations of a constraint (the C′_B of R).
 
-    ``budget`` bounds the number of visited (valid) configurations; the
-    search raises :class:`SolverLimitError` rather than silently truncate,
-    because downstream lower-bound certificates rely on exactness.
+    ``budget`` bounds the number of popped configurations (duplicates
+    included); the search raises :class:`SolverLimitError` rather than
+    silently truncate, because downstream lower-bound certificates rely
+    on exactness.
     """
+    _validate_engine(engine)
+    if engine == "kernel":
+        from repro.roundelim.kernel import maximal_set_configurations_kernel
+
+        return maximal_set_configurations_kernel(constraint, alphabet, budget)
+
     arity = constraint.size
     allowed: frozenset[tuple[Label, ...]] = frozenset(
         config.labels for config in constraint.configurations
     )
     labels = sorted(alphabet)
 
-    seeds = {
-        _canonical_set_config(tuple(frozenset([label]) for label in config.labels))
-        for config in constraint.configurations
-    }
-    visited: set[SetConfig] = set()
+    seeds = sorted(
+        {
+            _canonical_set_config(tuple(frozenset([label]) for label in config.labels))
+            for config in constraint.configurations
+        },
+        key=lambda config: tuple(_slot_sort_key(slot) for slot in config),
+    )
+    # Every member of ``seen`` is a known-valid configuration (seeds are
+    # valid by construction, and configs are only added after a
+    # successful addition check), and deduplication happens at *push*
+    # time, so each configuration is popped at most once and the popped
+    # count is exactly the number of distinct valid configs processed.
+    seen: set[SetConfig] = set(seeds)
     maximal: set[SetConfig] = set()
     stack = list(seeds)
     steps = 0
     while stack:
         config = stack.pop()
-        if config in visited:
-            continue
-        visited.add(config)
         steps += 1
         if steps > budget:
             raise SolverLimitError(
@@ -104,7 +164,8 @@ def maximal_set_configurations(
                     grown = _canonical_set_config(
                         config[:index] + (slot | {label},) + config[index + 1 :]
                     )
-                    if grown not in visited:
+                    if grown not in seen:
+                        seen.add(grown)
                         stack.append(grown)
         if not extendable:
             maximal.add(config)
@@ -128,14 +189,19 @@ def _existential_white_constraint(
 
 
 def _exists_choice(slots: tuple[frozenset[Label], ...], constraint: Constraint) -> bool:
-    """DFS with partial-extension pruning: ∃ choice over slots in constraint?"""
+    """DFS with partial-extension pruning: ∃ choice over slots in constraint?
+
+    Slots are visited smallest-first and each slot's label order is
+    computed once, outside the recursion.
+    """
 
     ordered = sorted(slots, key=len)
+    slot_orders = [sorted(slot) for slot in ordered]
 
     def recurse(index: int, partial: Counter[Label]) -> bool:
         if index == len(ordered):
             return constraint.allows_multiset(partial.elements())
-        for label in sorted(ordered[index]):
+        for label in slot_orders[index]:
             partial[label] += 1
             if constraint.allows_partial(partial, index + 1) and recurse(
                 index + 1, partial
@@ -150,12 +216,28 @@ def _exists_choice(slots: tuple[frozenset[Label], ...], constraint: Constraint) 
     return recurse(0, Counter())
 
 
-def apply_R(problem: Problem, budget: int = DEFAULT_BUDGET) -> Problem:
-    """The operator R of Appendix B."""
-    maximal = maximal_set_configurations(problem.black, problem.alphabet, budget)
+def apply_R(
+    problem: Problem,
+    budget: int = DEFAULT_BUDGET,
+    engine: str = DEFAULT_ENGINE,
+) -> Problem:
+    """The operator R of Appendix B.
+
+    ``engine`` selects the computation backend (see module docstring);
+    both produce the identical :class:`Problem`.
+    """
+    _validate_engine(engine)
+    if engine == "kernel":
+        from repro.roundelim.kernel import apply_R_kernel
+
+        return apply_R_kernel(problem, budget=budget)
+
+    maximal = maximal_set_configurations(
+        problem.black, problem.alphabet, budget, engine=engine
+    )
     new_alphabet_sets = sorted(
         {slot for config in maximal for slot in config},
-        key=lambda slot: (len(slot), sorted(slot)),
+        key=_slot_sort_key,
     )
     black_configs = [
         Configuration(set_label(slot) for slot in config) for config in maximal
@@ -174,9 +256,13 @@ def apply_R(problem: Problem, budget: int = DEFAULT_BUDGET) -> Problem:
     )
 
 
-def apply_R_bar(problem: Problem, budget: int = DEFAULT_BUDGET) -> Problem:
+def apply_R_bar(
+    problem: Problem,
+    budget: int = DEFAULT_BUDGET,
+    engine: str = DEFAULT_ENGINE,
+) -> Problem:
     """The operator R̄ of Appendix B (R with constraint roles reversed)."""
-    swapped = apply_R(problem.swap_sides(), budget=budget)
+    swapped = apply_R(problem.swap_sides(), budget=budget, engine=engine)
     result = swapped.swap_sides()
     return Problem(
         alphabet=result.alphabet,
@@ -186,13 +272,19 @@ def apply_R_bar(problem: Problem, budget: int = DEFAULT_BUDGET) -> Problem:
     )
 
 
-def round_elimination(problem: Problem, budget: int = DEFAULT_BUDGET) -> Problem:
+def round_elimination(
+    problem: Problem,
+    budget: int = DEFAULT_BUDGET,
+    engine: str = DEFAULT_ENGINE,
+) -> Problem:
     """RE(Π) := R̄(R(Π)) — one full round elimination step.
 
     Arities are preserved: if Π has white configurations of size Δ and black
     configurations of size r, so does RE(Π) (paper §2, "Round elimination").
     """
-    result = apply_R_bar(apply_R(problem, budget=budget), budget=budget)
+    result = apply_R_bar(
+        apply_R(problem, budget=budget, engine=engine), budget=budget, engine=engine
+    )
     return Problem(
         alphabet=result.alphabet,
         white=result.white,

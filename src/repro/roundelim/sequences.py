@@ -22,7 +22,12 @@ from repro.formalism.relaxations import (
     find_config_map_relaxation,
     find_label_relaxation,
 )
-from repro.roundelim.operators import DEFAULT_BUDGET, compress_labels, round_elimination
+from repro.roundelim.operators import (
+    DEFAULT_BUDGET,
+    DEFAULT_ENGINE,
+    compress_labels,
+    round_elimination,
+)
 
 
 @dataclass(frozen=True)
@@ -63,18 +68,21 @@ class LowerBoundSequence:
     def last(self) -> Problem:
         return self.problems[-1]
 
-    def verify(self, budget: int = DEFAULT_BUDGET) -> list[SequenceStepWitness]:
+    def verify(
+        self, budget: int = DEFAULT_BUDGET, engine: str = DEFAULT_ENGINE
+    ) -> list[SequenceStepWitness]:
         """Mechanically verify every step, returning the witnesses.
 
         Tries the cheap label-map search first and falls back to the
         general ordered-configuration-map search (the paper's §2 notion;
         needed e.g. for the Lemma 4.5 matching steps).  Raises ValueError
-        on the first unverifiable step.
+        on the first unverifiable step.  ``engine`` selects the round
+        elimination backend (outputs are engine-independent).
         """
         witnesses: list[SequenceStepWitness] = []
         for index in range(1, len(self.problems)):
             eliminated, _ = compress_labels(
-                round_elimination(self.problems[index - 1], budget=budget)
+                round_elimination(self.problems[index - 1], budget=budget, engine=engine)
             )
             label_map = find_label_relaxation(eliminated, self.problems[index])
             config_map = None

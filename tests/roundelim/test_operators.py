@@ -54,6 +54,69 @@ class TestMaximalSetConfigurations:
         with pytest.raises(SolverLimitError):
             maximal_set_configurations(problem.black, frozenset("AB"), budget=1)
 
+    def test_budget_counts_every_popped_configuration(self):
+        """The budget bounds *pops*, and push-time dedup means the pop
+        count equals the number of distinct valid configurations — so a
+        tight budget raises on both engines at exactly the same value.
+
+        The full AB constraint visits the 6 valid pair-configurations
+        over {A}, {B}, {A,B}: budget 5 must raise, budget 6 suffice.
+        """
+        problem = problem_from_lines(["A A"], ["A A", "A B", "B B"])
+        for engine in ("reference", "kernel"):
+            with pytest.raises(SolverLimitError):
+                maximal_set_configurations(
+                    problem.black, frozenset("AB"), budget=5, engine=engine
+                )
+            result = maximal_set_configurations(
+                problem.black, frozenset("AB"), budget=6, engine=engine
+            )
+            assert result == frozenset({(frozenset("AB"), frozenset("AB"))})
+
+    def test_budget_threshold_is_hash_seed_independent(self):
+        """The seed ordering is explicitly sorted, so the step at which
+        a tight budget raises cannot depend on hash randomization."""
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        script = (
+            "from repro.formalism.problems import problem_from_lines\n"
+            "from repro.roundelim.operators import maximal_set_configurations\n"
+            "from repro.utils import SolverLimitError\n"
+            "problem = problem_from_lines(['A A'], ['A A', 'A B', 'B B'])\n"
+            "outcomes = []\n"
+            "for engine in ('reference', 'kernel'):\n"
+            "    for budget in range(1, 8):\n"
+            "        try:\n"
+            "            maximal_set_configurations(\n"
+            "                problem.black, frozenset('AB'),\n"
+            "                budget=budget, engine=engine)\n"
+            "            outcomes.append('ok')\n"
+            "        except SolverLimitError:\n"
+            "            outcomes.append('limit')\n"
+            "print(','.join(outcomes))\n"
+        )
+        transcripts = []
+        for hash_seed in ("0", "1"):
+            completed = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env={
+                    **os.environ,
+                    "PYTHONHASHSEED": hash_seed,
+                    "PYTHONPATH": src_dir,
+                },
+                check=True,
+            )
+            transcripts.append(completed.stdout.strip())
+        assert transcripts[0] == transcripts[1]
+        assert "limit" in transcripts[0] and "ok" in transcripts[0]
+
     def test_no_config_dominates_another(self):
         """Maximality: no output config is component-wise below another."""
         so = sinkless_orientation_problem(3)
