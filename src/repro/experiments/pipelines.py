@@ -652,3 +652,36 @@ def speedup_b2(scenario: Scenario, rng: random.Random) -> list[dict]:
             "valid": bool(one_round_ok) and checked == passed == 2**edge_limit,
         }
     ]
+
+
+# --------------------------------------------------------------------------
+# Differential verification (repro.verification)
+# --------------------------------------------------------------------------
+
+
+@pipeline("verification_fuzz")
+def verification_fuzz(scenario: Scenario, rng: random.Random) -> list[dict]:
+    """A bounded differential-fuzz batch as an experiment scenario.
+
+    Runs :func:`repro.verification.run_fuzz` over the scenario's oracles
+    (option ``oracles``, default all) with ``cases`` cases; the fuzz seed
+    derives from the scenario RNG, so the records are deterministic per
+    (suite, base seed) like every other pipeline.  A record is invalid as
+    soon as one discrepancy survives — the suite fails loudly.
+    """
+    from repro.verification import available_oracles, run_fuzz
+
+    oracle_names = list(scenario.option("oracles") or available_oracles())
+    cases = scenario.option("cases", 10)
+    fuzz_seed = rng.randrange(10**6)
+    payload, _entries = run_fuzz(oracle_names, cases=cases, seed=fuzz_seed)
+    return [
+        {
+            "oracle": name,
+            "fuzz_seed": fuzz_seed,
+            "cases": stats["cases"],
+            "discrepancies": stats["discrepancies"],
+            "valid": stats["discrepancies"] == 0,
+        }
+        for name, stats in sorted(payload["oracles"].items())
+    ]

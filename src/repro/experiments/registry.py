@@ -163,8 +163,35 @@ SUITES: dict[str, tuple[Scenario, ...]] = {
             re_engine="reference",
         ),
     ),
+    # Differential fuzzing (repro.verification) as first-class scenarios:
+    # the oracle registry runs under the same seeded, jobs-parallel,
+    # byte-deterministic contract as every other suite.
+    "verification": (
+        Scenario.create(
+            "fuzz-all-oracles",
+            pipeline="verification_fuzz",
+            cases=15,
+        ),
+        Scenario.create(
+            "fuzz-roundelim-deep",
+            pipeline="verification_fuzz",
+            cases=8,
+            oracles=("roundelim",),
+        ),
+        Scenario.create(
+            "fuzz-solver-views",
+            pipeline="verification_fuzz",
+            cases=10,
+            oracles=("solver", "views"),
+        ),
+    ),
     # The CI gate: one fast scenario per family, sized for < 60 s total.
     "smoke": (
+        Scenario.create(
+            "smoke-verification-fuzz",
+            pipeline="verification_fuzz",
+            cases=5,
+        ),
         Scenario.create(
             "smoke-matching-proposal",
             pipeline="matching_proposal_sweep",

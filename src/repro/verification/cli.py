@@ -1,0 +1,283 @@
+"""``python -m repro.verification`` — list, fuzz and replay.
+
+Commands:
+
+* ``list`` — the registered differential oracles;
+* ``fuzz --cases N [--seed K] [--jobs J] [--oracle NAME ...]
+  [--corpus DIR] [--out FILE] [--shrink-budget B]`` — generate N cases
+  (round-robin across the selected oracles), check each one, greedily
+  minimize any failure and (with ``--corpus``) serialize it for replay;
+* ``replay [--corpus DIR] [--out FILE]`` — re-check every corpus entry.
+
+Determinism mirrors the experiments runner: each case derives a private
+RNG from ``(seed, oracle, case index)`` — never from execution order or
+worker assignment — results are emitted in case order, and serialization
+is canonical, so ``--jobs 4`` and ``--jobs 1`` produce byte-identical
+JSON.  Both ``fuzz`` and ``replay`` exit non-zero when a discrepancy
+survives, so CI can gate on the commands directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import random
+import sys
+
+from repro.utils.serialization import canonical_dumps, result_digest, write_json
+from repro.utils.tables import format_table
+from repro.verification.corpus import (
+    DEFAULT_CORPUS_DIR,
+    corpus_files,
+    load_entry,
+    make_entry,
+    replay_entry,
+    save_entry,
+)
+from repro.verification.oracles import ORACLES, available_oracles, resolve_oracle, run_check
+from repro.verification.shrink import DEFAULT_SHRINK_BUDGET, shrink_failing_case
+
+FUZZ_SCHEMA = "repro.verification/fuzz-v1"
+REPLAY_SCHEMA = "repro.verification/replay-v1"
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = [
+        (name, ORACLES[name].description) for name in available_oracles()
+    ]
+    print(format_table(["oracle", "cross-checked implementations"], rows))
+    return 0
+
+
+def generate_cases(oracle_names: list[str], cases: int, seed: int) -> list[dict]:
+    """The deterministic case list of one fuzz run.
+
+    Case ``i`` belongs to oracle ``i % len(oracles)`` and draws its
+    parameters from a private RNG keyed by (seed, oracle, i) only.
+    """
+    tasks = []
+    for index in range(cases):
+        name = oracle_names[index % len(oracle_names)]
+        rng = random.Random(f"{seed}:{name}:{index}")
+        tasks.append(
+            {
+                "index": index,
+                "oracle": name,
+                "params": resolve_oracle(name).generate(rng),
+            }
+        )
+    return tasks
+
+
+def _check_task(task: dict) -> dict:
+    detail = run_check(resolve_oracle(task["oracle"]), task["params"])
+    return {**task, "detail": detail}
+
+
+def run_fuzz(
+    oracle_names: list[str],
+    cases: int,
+    seed: int,
+    jobs: int = 1,
+    shrink_budget: int = DEFAULT_SHRINK_BUDGET,
+) -> tuple[dict, list[dict]]:
+    """Execute one fuzz run; return (payload, minimized corpus entries).
+
+    The payload is independent of ``jobs`` (the parallel-determinism
+    contract); minimization runs serially in the parent so shrink order
+    is deterministic too.
+    """
+    tasks = generate_cases(oracle_names, cases, seed)
+    if jobs == 1 or len(tasks) <= 1:
+        checked = [_check_task(task) for task in tasks]
+    else:
+        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+            checked = pool.map(_check_task, tasks)
+    entries = []
+    for result in checked:
+        if result["detail"] is None:
+            continue
+        oracle = resolve_oracle(result["oracle"])
+        minimized = shrink_failing_case(
+            oracle, result["params"], result["detail"], budget=shrink_budget
+        )
+        entries.append(
+            make_entry(oracle.name, minimized.params, minimized.detail, seed)
+        )
+    per_oracle = {
+        name: {
+            "cases": sum(1 for r in checked if r["oracle"] == name),
+            "discrepancies": sum(
+                1
+                for r in checked
+                if r["oracle"] == name and r["detail"] is not None
+            ),
+        }
+        for name in oracle_names
+    }
+    payload = {
+        "schema": FUZZ_SCHEMA,
+        "seed": seed,
+        "cases": cases,
+        "oracles": per_oracle,
+        "discrepancies": [
+            {
+                "index": result["index"],
+                "oracle": result["oracle"],
+                "detail": result["detail"],
+            }
+            for result in checked
+            if result["detail"] is not None
+        ],
+        "counterexamples": entries,
+        "ok": all(result["detail"] is None for result in checked),
+    }
+    payload["digest"] = result_digest(payload)
+    return payload, entries
+
+
+def _emit(payload: dict, out: str | None) -> None:
+    if out:
+        write_json(out, payload)
+        print(f"wrote {out}", file=sys.stderr)
+    else:
+        print(canonical_dumps(payload, indent=2))
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    names = sorted(set(args.oracle)) if args.oracle else available_oracles()
+    for name in names:
+        resolve_oracle(name)  # fail fast with the oracle listing
+    payload, entries = run_fuzz(
+        names,
+        cases=args.cases,
+        seed=args.seed,
+        jobs=args.jobs,
+        shrink_budget=args.shrink_budget,
+    )
+    saved = []
+    if args.corpus:
+        saved = [str(save_entry(entry, args.corpus)) for entry in entries]
+    _emit(payload, args.out)
+    rows = [
+        (
+            name,
+            stats["cases"],
+            stats["discrepancies"],
+            "ok" if stats["discrepancies"] == 0 else "FAIL",
+        )
+        for name, stats in sorted(payload["oracles"].items())
+    ]
+    print(
+        format_table(
+            ["oracle", "cases", "discrepancies", "status"],
+            rows,
+            title=f"fuzz (seed {args.seed}, {args.cases} cases)",
+        ),
+        file=sys.stderr,
+    )
+    for path in saved:
+        print(f"minimized counterexample: {path}", file=sys.stderr)
+    return 0 if payload["ok"] else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    files = corpus_files(args.corpus)
+    if not files:
+        # An unreadable/empty corpus must not pass as "all entries green"
+        # — a path typo would silently disarm the CI regression gate.
+        print(
+            f"error: no corpus entries found under {args.corpus!r}",
+            file=sys.stderr,
+        )
+        return 1
+    results = []
+    for path in files:
+        entry = load_entry(path)
+        detail = replay_entry(entry)
+        results.append(
+            {
+                "file": path.name,
+                "oracle": entry["oracle"],
+                "case_id": entry["case_id"],
+                "detail": detail,
+                "ok": detail is None,
+            }
+        )
+    payload = {
+        "schema": REPLAY_SCHEMA,
+        "corpus": str(args.corpus),
+        "entries": results,
+        "ok": all(result["ok"] for result in results),
+    }
+    payload["digest"] = result_digest(payload)
+    _emit(payload, args.out)
+    rows = [
+        (result["file"], result["oracle"], "ok" if result["ok"] else "FAIL")
+        for result in results
+    ]
+    print(
+        format_table(
+            ["entry", "oracle", "status"],
+            rows,
+            title=f"corpus replay ({len(results)} entries)",
+        ),
+        file=sys.stderr,
+    )
+    return 0 if payload["ok"] else 1
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verification",
+        description="Differential verification: adversarial instance "
+        "fuzzing across every engine/oracle pair.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list differential oracles").set_defaults(
+        handler=_cmd_list
+    )
+
+    fuzz = commands.add_parser("fuzz", help="fuzz the oracle registry")
+    fuzz.add_argument("--cases", type=_positive_int, default=100,
+                      help="number of cases (default: 100)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="base seed for case RNGs (default: 0)")
+    fuzz.add_argument("--jobs", type=_positive_int, default=1,
+                      help="worker processes (default: 1, serial); the "
+                      "JSON payload is byte-identical for any value")
+    fuzz.add_argument("--oracle", action="append", default=None,
+                      choices=available_oracles(),
+                      help="restrict to this oracle (repeatable; default: all)")
+    fuzz.add_argument("--corpus", default=None,
+                      help="directory to serialize minimized counterexamples "
+                      "into (default: do not write)")
+    fuzz.add_argument("--shrink-budget", type=_positive_int,
+                      default=DEFAULT_SHRINK_BUDGET,
+                      help="candidate evaluations per minimization "
+                      f"(default: {DEFAULT_SHRINK_BUDGET})")
+    fuzz.add_argument("--out", default=None,
+                      help="write canonical JSON here instead of stdout")
+    fuzz.set_defaults(handler=_cmd_fuzz)
+
+    replay = commands.add_parser("replay", help="re-check every corpus entry")
+    replay.add_argument("--corpus", default=str(DEFAULT_CORPUS_DIR),
+                        help=f"corpus directory (default: {DEFAULT_CORPUS_DIR})")
+    replay.add_argument("--out", default=None,
+                        help="write canonical JSON here instead of stdout")
+    replay.set_defaults(handler=_cmd_replay)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)

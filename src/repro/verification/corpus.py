@@ -1,0 +1,105 @@
+"""The replayable counterexample corpus (``tests/corpus/``).
+
+Every entry is one canonical-JSON file describing a single oracle case:
+
+.. code-block:: json
+
+    {
+      "schema": "repro.verification/corpus-v1",
+      "oracle": "solver",
+      "params": { "...": "oracle-specific case description" },
+      "detail": "what disagreed when the case was captured",
+      "seed": 0,
+      "case_id": "0123456789abcdef"
+    }
+
+``params`` is exactly what the oracle's ``check`` accepts, so replay needs
+no randomness and no environment: rebuild, re-check.  A committed entry is
+a *regression guard* — it must replay green (the discrepancy it recorded
+is fixed, and must stay fixed); the fuzzer writes newly-found failures
+into the corpus directory so CI can surface them as artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.utils import InvalidParameterError
+from repro.utils.serialization import result_digest, write_json
+from repro.verification.oracles import resolve_oracle, run_check
+
+CORPUS_SCHEMA = "repro.verification/corpus-v1"
+
+#: Repository-relative default corpus location.
+DEFAULT_CORPUS_DIR = Path("tests") / "corpus"
+
+_REQUIRED_KEYS = ("schema", "oracle", "params", "detail", "seed", "case_id")
+
+
+def case_id(oracle_name: str, params: dict) -> str:
+    """The stable identity of a case: a digest of (oracle, params)."""
+    return result_digest({"oracle": oracle_name, "params": params})
+
+
+def make_entry(oracle_name: str, params: dict, detail: str, seed: int) -> dict:
+    """Build a corpus entry dict for one (possibly minimized) case."""
+    return {
+        "schema": CORPUS_SCHEMA,
+        "oracle": oracle_name,
+        "params": params,
+        "detail": detail,
+        "seed": seed,
+        "case_id": case_id(oracle_name, params),
+    }
+
+
+def validate_entry(entry: dict) -> None:
+    """Raise :class:`InvalidParameterError` on a malformed entry."""
+    missing = [key for key in _REQUIRED_KEYS if key not in entry]
+    if missing:
+        raise InvalidParameterError(f"corpus entry lacks keys {missing}")
+    if entry["schema"] != CORPUS_SCHEMA:
+        raise InvalidParameterError(
+            f"corpus entry has schema {entry['schema']!r}; expected "
+            f"{CORPUS_SCHEMA!r}"
+        )
+    resolve_oracle(entry["oracle"])
+    expected = case_id(entry["oracle"], entry["params"])
+    if entry["case_id"] != expected:
+        raise InvalidParameterError(
+            f"corpus entry case_id {entry['case_id']!r} does not match its "
+            f"params (expected {expected!r})"
+        )
+
+
+def entry_filename(entry: dict) -> str:
+    return f"{entry['oracle']}-{entry['case_id']}.json"
+
+
+def save_entry(entry: dict, directory: str | Path) -> Path:
+    """Write an entry into the corpus directory (canonical JSON)."""
+    validate_entry(entry)
+    return write_json(Path(directory) / entry_filename(entry), entry)
+
+
+def corpus_files(directory: str | Path) -> list[Path]:
+    """Corpus entry files, sorted by name for deterministic replay order."""
+    root = Path(directory)
+    if not root.is_dir():
+        return []
+    return sorted(path for path in root.glob("*.json") if path.is_file())
+
+
+def load_entry(path: str | Path) -> dict:
+    """Read and validate one corpus entry."""
+    import json
+
+    entry = json.loads(Path(path).read_text())
+    validate_entry(entry)
+    return entry
+
+
+def replay_entry(entry: dict) -> str | None:
+    """Re-check a corpus entry; the discrepancy description, or None."""
+    validate_entry(entry)
+    return run_check(resolve_oracle(entry["oracle"]), entry["params"])

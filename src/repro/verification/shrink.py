@@ -1,0 +1,63 @@
+"""Greedy counterexample minimization.
+
+Standard property-based-testing shrinking: ask the oracle for structurally
+smaller candidate cases, keep the first one that still fails, repeat until
+no candidate fails (a local minimum) or the attempt budget runs out.  The
+final case is what gets serialized into the corpus — small enough to read.
+
+A candidate may fail *differently* from the original; that is accepted
+(the minimized case is a counterexample either way, and insisting on an
+identical message would keep shrinkers from crossing failure-mode
+boundaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.verification.oracles import Oracle, run_check
+
+#: Total candidate evaluations one minimization may spend.
+DEFAULT_SHRINK_BUDGET = 300
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """A minimized failing case plus how it was reached."""
+
+    params: dict
+    detail: str
+    steps: int
+    attempts: int
+
+
+def shrink_failing_case(
+    oracle: Oracle,
+    params: dict,
+    detail: str,
+    budget: int = DEFAULT_SHRINK_BUDGET,
+) -> ShrinkResult:
+    """Greedily minimize a failing case.
+
+    ``params`` must already fail ``oracle`` with ``detail``; the result's
+    ``params`` still fail (possibly with a different detail).
+    """
+    current, current_detail = params, detail
+    steps = 0
+    attempts = 0
+    progressed = True
+    while progressed and attempts < budget:
+        progressed = False
+        for candidate in oracle.shrink(current):
+            attempts += 1
+            candidate_detail = run_check(oracle, candidate)
+            if candidate_detail is not None:
+                current, current_detail = candidate, candidate_detail
+                steps += 1
+                progressed = True
+                break
+            if attempts >= budget:
+                break
+    return ShrinkResult(
+        params=current, detail=current_detail, steps=steps, attempts=attempts
+    )

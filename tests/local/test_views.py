@@ -1,0 +1,152 @@
+"""Radius-T views (plain LOCAL and Supported LOCAL) and the supported
+runners: disconnected G′, the T=0 edge case, and locality enforcement."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import cycle
+from repro.local import SupportedInstance, run_supported_view_algorithm
+from repro.local.network import Network
+from repro.local.views import collect_supported_view, collect_view
+from repro.utils import LocalityViolationError, SimulationError
+
+
+@pytest.fixture
+def two_triangles():
+    """A disconnected support graph: two triangle components."""
+    graph = nx.Graph()
+    for side in (0, 1):
+        ring = [f"c{side}n{i}" for i in range(3)]
+        for i in range(3):
+            graph.add_edge(ring[i], ring[(i + 1) % 3])
+    return graph
+
+
+class TestLocalView:
+    def test_radius_one_contents_and_ids(self):
+        network = Network(graph=cycle(6))
+        view = collect_view(network, 0, 1)
+        assert set(view.subgraph.nodes) == {5, 0, 1}
+        assert view.n == 6
+        assert view.max_degree == 2
+        assert view.id_of(0) == network.ids[0]
+        assert view.neighbors(0) == sorted(
+            [1, 5], key=lambda v: network.ids[v]
+        )
+
+    def test_out_of_radius_queries_raise(self):
+        network = Network(graph=cycle(6))
+        view = collect_view(network, 0, 1)
+        with pytest.raises(LocalityViolationError):
+            view.id_of(3)
+        with pytest.raises(LocalityViolationError):
+            view.neighbors(3)
+
+    def test_radius_zero_sees_only_the_center(self):
+        network = Network(graph=cycle(6))
+        view = collect_view(network, 0, 0)
+        assert set(view.subgraph.nodes) == {0}
+        with pytest.raises(LocalityViolationError):
+            view.neighbors(1)
+
+
+class TestSupportedView:
+    def test_t0_marks_are_exactly_own_incident_edges(self):
+        graph = cycle(6)
+        instance = SupportedInstance.from_graphs(graph, [(0, 1)])
+        view = instance.view(0, 0)
+        assert view.is_input_edge(0, 1) is True
+        assert view.is_input_edge(0, 5) is False
+        # Edge (1, 2) is one hop too far at T=0.
+        with pytest.raises(LocalityViolationError):
+            view.is_input_edge(1, 2)
+
+    def test_support_is_global_knowledge_even_at_t0(self, two_triangles):
+        instance = SupportedInstance.from_graphs(two_triangles, [])
+        view = instance.view("c0n0", 0)
+        # The whole support graph and all IDs are known...
+        assert set(view.support.nodes) == set(two_triangles.nodes)
+        assert set(view.ids) == set(two_triangles.nodes)
+        # ...but marks of the other component are not.
+        with pytest.raises(LocalityViolationError):
+            view.is_input_edge("c1n0", "c1n1")
+
+    def test_marks_never_cross_support_components(self, two_triangles):
+        """G′ lives in one component; even a huge radius reveals no marks
+        from the other component (BFS distance is infinite)."""
+        instance = SupportedInstance.from_graphs(
+            two_triangles, [("c0n0", "c0n1")]
+        )
+        view = instance.view("c1n0", 10)
+        assert view.is_input_edge("c1n0", "c1n1") is False
+        with pytest.raises(LocalityViolationError):
+            view.is_input_edge("c0n0", "c0n1")
+
+    def test_disconnected_input_graph_marks_propagate_over_support(self):
+        """G′ disconnected (two far-apart edges of a cycle): the *support*
+        distance governs visibility, so a radius-2 view reads marks of
+        input edges its own G′-component does not contain."""
+        graph = cycle(8)
+        instance = SupportedInstance.from_graphs(graph, [(0, 1), (4, 5)])
+        assert not nx.is_connected(instance.input_graph().subgraph([0, 1, 4, 5]))
+        view = instance.view(2, 2)
+        assert view.is_input_edge(0, 1) is True
+        assert view.is_input_edge(4, 5) is True
+        assert view.input_neighbors(1) == [0]
+
+    def test_input_neighbors_of_isolated_node_is_empty(self):
+        """A node isolated in G′ ("halted" — it never joins the input
+        graph) still has a view and interacts normally: neighbors see its
+        edges as non-input."""
+        graph = cycle(6)
+        instance = SupportedInstance.from_graphs(graph, [(2, 3)])
+        assert instance.view(0, 0).input_neighbors(0) == []
+        neighbor_view = instance.view(1, 1)
+        assert neighbor_view.is_input_edge(0, 1) is False
+        assert neighbor_view.is_input_edge(0, 5) is False
+
+
+class TestSupportedInstance:
+    def test_foreign_input_edge_rejected(self):
+        with pytest.raises(SimulationError):
+            SupportedInstance.from_graphs(cycle(4), [(0, 2)])
+
+    def test_input_graph_and_degree(self):
+        instance = SupportedInstance.from_graphs(cycle(5), [(0, 1), (1, 2)])
+        assert instance.input_degree == 2
+        assert set(instance.input_graph().nodes) == set(range(5))
+
+    def test_empty_input_graph_has_degree_zero(self):
+        assert SupportedInstance.from_graphs(cycle(4), []).input_degree == 0
+
+
+class TestViewRunner:
+    def test_t0_runner_outputs_and_rounds(self):
+        graph = cycle(6)
+        instance = SupportedInstance.from_graphs(graph, [(0, 1)])
+        result = run_supported_view_algorithm(
+            instance, 0, lambda view: len(view.input_neighbors(view.center))
+        )
+        assert result.rounds == 0
+        assert result.outputs == {0: 1, 1: 1, 2: 0, 3: 0, 4: 0, 5: 0}
+
+    def test_runner_covers_disconnected_support(self, two_triangles):
+        instance = SupportedInstance.from_graphs(
+            two_triangles, [("c0n0", "c0n1")]
+        )
+        result = run_supported_view_algorithm(
+            instance,
+            1,
+            lambda view: sum(view._visible_marks.values()),
+        )
+        assert set(result.outputs) == set(two_triangles.nodes)
+        # Every first-component node sees the single mark; the other
+        # component sees none.
+        for node, count in result.outputs.items():
+            assert count == (1 if node.startswith("c0") else 0)
+
+    def test_collect_supported_view_direct(self):
+        network = Network(graph=cycle(4))
+        view = collect_supported_view(network, frozenset([frozenset((0, 1))]), 0, 1)
+        assert view.is_input_edge(0, 1) is True
+        assert view.is_input_edge(1, 2) is False

@@ -1,0 +1,86 @@
+"""Direct coverage for :mod:`repro.solvers.enumeration` — the brute-force
+oracle itself must be trustworthy before the fuzzer leans on it."""
+
+import networkx as nx
+import pytest
+
+from repro.formalism.problems import problem_from_lines
+from repro.graphs import cycle, mark_bipartition
+from repro.problems import maximal_matching_problem
+from repro.solvers.csp import EdgeLabelingCSP, check_edge_labeling
+from repro.solvers.enumeration import brute_force_solutions, brute_force_solvable
+from repro.utils import SolverError
+
+
+@pytest.fixture
+def c6():
+    return mark_bipartition(cycle(6))
+
+
+class TestBruteForceSolutions:
+    def test_edge_limit_enforced(self):
+        graph = mark_bipartition(cycle(14))
+        with pytest.raises(SolverError):
+            list(
+                brute_force_solutions(
+                    graph, maximal_matching_problem(2), edge_limit=12
+                )
+            )
+
+    def test_every_yielded_labeling_is_valid(self, c6):
+        problem = maximal_matching_problem(2)
+        solutions = list(brute_force_solutions(c6, problem))
+        assert solutions
+        for labeling in solutions:
+            assert set(labeling) == {frozenset(edge) for edge in c6.edges}
+            assert check_edge_labeling(c6, problem, labeling)
+
+    def test_solution_set_equals_csp_solution_set(self, c6):
+        """Not just the count: the exact sets of labelings agree."""
+        problem = problem_from_lines(["A A", "B B"], ["A B"], name="alt")
+        brute = {
+            frozenset(labeling.items())
+            for labeling in brute_force_solutions(c6, problem)
+        }
+        via_csp = {
+            frozenset(labeling.items())
+            for labeling in EdgeLabelingCSP(c6, problem).iter_solutions()
+        }
+        assert brute == via_csp
+
+    def test_degree_mismatch_nodes_are_unconstrained(self):
+        """Path endpoints (degree 1 < arity 2) never filter labelings."""
+        graph = nx.path_graph(3)
+        graph.nodes[0]["color"] = "white"
+        graph.nodes[1]["color"] = "black"
+        graph.nodes[2]["color"] = "white"
+        problem = problem_from_lines(["A A"], ["A B"], name="mixed")
+        solutions = list(brute_force_solutions(graph, problem))
+        # Node 1 (black, degree 2) needs A B; endpoints are free.
+        assert len(solutions) == 2  # {A,B} and {B,A} over the two edges
+
+    def test_custom_activity_predicates(self, c6):
+        """Deactivating the black side turns 'forced' solvable."""
+        forced = problem_from_lines(["M M"], ["M O"], name="forced")
+        assert not brute_force_solvable(c6, forced)
+        everything_m = list(
+            brute_force_solutions(
+                c6, forced, black_active=lambda node: False
+            )
+        )
+        assert everything_m
+        for labeling in everything_m:
+            assert set(labeling.values()) == {"M"}
+
+
+class TestBruteForceSolvable:
+    def test_sat_and_unsat(self, c6):
+        assert brute_force_solvable(c6, maximal_matching_problem(2))
+        assert not brute_force_solvable(
+            c6, problem_from_lines(["M M"], ["M O"], name="forced")
+        )
+
+    def test_empty_graph_is_trivially_solvable(self):
+        graph = nx.Graph()
+        graph.add_node("w", color="white")
+        assert brute_force_solvable(graph, maximal_matching_problem(2))

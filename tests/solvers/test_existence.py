@@ -1,0 +1,132 @@
+"""Direct coverage for :mod:`repro.solvers.existence` — every wrapper
+(bipartite, non-bipartite, S-solution, lift solvability) exercised on its
+own, with results cross-validated by the checkers."""
+
+import networkx as nx
+import pytest
+
+from repro.checkers import check_bipartite_solution
+from repro.formalism.problems import problem_from_lines
+from repro.graphs import Hypergraph, cycle, mark_bipartition
+from repro.problems import maximal_matching_problem, sinkless_orientation_problem
+from repro.solvers.existence import (
+    bipartite_solvable,
+    lift_solvable_bipartite,
+    lift_solvable_non_bipartite,
+    non_bipartite_solvable,
+    solve_bipartite,
+    solve_non_bipartite,
+    solve_s_solution,
+)
+from repro.utils import SolverLimitError
+
+TWO_COLORING = problem_from_lines(
+    ["{1} {1}", "{2} {2}"], ["{1} {2}", "X {1}", "X {2}", "X X"], name="2col"
+)
+
+
+class TestBipartitePath:
+    def test_solution_validates_against_checker(self):
+        graph = mark_bipartition(cycle(6))
+        problem = maximal_matching_problem(2)
+        solution = solve_bipartite(graph, problem)
+        assert solution is not None
+        assert bipartite_solvable(graph, problem)
+        assert check_bipartite_solution(graph, problem, solution)
+
+    def test_unsat_and_budget_propagation(self):
+        graph = mark_bipartition(cycle(6))
+        forced = problem_from_lines(["M M"], ["M O"], name="forced")
+        assert solve_bipartite(graph, forced) is None
+        assert not bipartite_solvable(graph, forced)
+        with pytest.raises(SolverLimitError):
+            bipartite_solvable(graph, maximal_matching_problem(2), budget=2)
+
+
+class TestNonBipartitePath:
+    def test_hypergraph_and_plain_graph_inputs_agree(self):
+        """A plain graph is its own rank-2 hypergraph — both input shapes
+        must decide identically."""
+        graph = cycle(6)
+        as_hypergraph = Hypergraph.from_graph(graph)
+        assert non_bipartite_solvable(graph, TWO_COLORING)
+        assert non_bipartite_solvable(as_hypergraph, TWO_COLORING)
+
+    def test_solution_keys_are_incidence_edges(self):
+        graph = cycle(4)
+        solution = solve_non_bipartite(graph, TWO_COLORING)
+        assert solution is not None
+        # Keys pair an original node with an ("edge", i) hyperedge node.
+        for key in solution:
+            edge_nodes = [
+                member
+                for member in key
+                if isinstance(member, tuple) and member[0] == "edge"
+            ]
+            assert len(edge_nodes) == 1
+        assert len(solution) == 2 * graph.number_of_edges()
+
+    def test_odd_cycle_two_coloring_unsolvable(self):
+        assert not non_bipartite_solvable(cycle(5), TWO_COLORING)
+
+    def test_rank_three_hypergraph(self):
+        """White arity 2 nodes / black arity 3 hyperedges: one node per
+        hyperedge elects itself ({1}), the others abstain (X)."""
+        election = problem_from_lines(
+            ["{1} {1}", "X X", "X {1}", "{1} X"],
+            ["{1} X X"],
+            name="elect",
+        )
+        hypergraph = Hypergraph.from_edges(
+            [(0, 1, 2), (2, 3, 4), (4, 5, 0)]
+        )
+        assert hypergraph.rank == 3
+        assert non_bipartite_solvable(hypergraph, election)
+
+
+class TestSSolutionPath:
+    def test_s_solution_exists_where_full_solution_cannot(self):
+        graph = cycle(5)  # odd cycle: proper 2-coloring impossible
+        full = solve_s_solution(graph, TWO_COLORING, set(graph.nodes))
+        assert full is None
+        partial = solve_s_solution(graph, TWO_COLORING, set(list(graph.nodes)[:3]))
+        assert partial is not None
+
+    def test_empty_s_is_trivially_solvable(self):
+        graph = cycle(5)
+        assert solve_s_solution(graph, TWO_COLORING, set()) is not None
+
+
+class TestLiftSolvabilityPath:
+    def test_bipartite_lift_decision_returns_all_three_parts(self):
+        graph = mark_bipartition(cycle(4))
+        so = sinkless_orientation_problem(2)
+        solvable, solution, lifted = lift_solvable_bipartite(graph, so, 2, 2)
+        assert lifted.delta == 2 and lifted.rank == 2
+        assert solvable == (solution is not None)
+        if solvable:
+            explicit = lifted.to_problem()
+            assert check_bipartite_solution(graph, explicit, solution)
+
+    def test_solution_is_none_exactly_when_unsolvable(self):
+        """lift(SO_2) on a single-edge support: white degree-1 nodes are
+        unconstrained, so the lift is decided by the black side only."""
+        graph = nx.Graph()
+        graph.add_node("w", color="white")
+        graph.add_node("b", color="black")
+        graph.add_edge("w", "b")
+        so = sinkless_orientation_problem(2)
+        solvable, solution, _lifted = lift_solvable_bipartite(graph, so, 2, 2)
+        assert solvable and solution is not None
+
+    def test_non_bipartite_lift_on_plain_graph_and_hypergraph(self):
+        so = sinkless_orientation_problem(2)
+        graph = cycle(4)
+        solvable_graph, _sol, lifted = lift_solvable_non_bipartite(
+            graph, so, 2, 2
+        )
+        solvable_hyper, _sol2, _lifted2 = lift_solvable_non_bipartite(
+            Hypergraph.from_graph(graph), so, 2, 2
+        )
+        assert solvable_graph == solvable_hyper
+        assert lifted.base is so

@@ -1,0 +1,96 @@
+"""Corpus entry schema, round-tripping, and the committed seed corpus."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.utils import InvalidParameterError
+from repro.verification.corpus import (
+    CORPUS_SCHEMA,
+    case_id,
+    corpus_files,
+    entry_filename,
+    load_entry,
+    make_entry,
+    replay_entry,
+    save_entry,
+    validate_entry,
+)
+
+#: The committed corpus, relative to this test file (cwd-independent).
+COMMITTED_CORPUS = Path(__file__).resolve().parents[1] / "corpus"
+
+
+def _entry():
+    return make_entry(
+        "serialization", {"tree": {"kind": "none"}}, "captured detail", seed=4
+    )
+
+
+class TestEntrySchema:
+    def test_make_entry_shape(self):
+        entry = _entry()
+        assert entry["schema"] == CORPUS_SCHEMA
+        assert entry["case_id"] == case_id("serialization", entry["params"])
+        validate_entry(entry)
+
+    def test_filename_embeds_oracle_and_identity(self):
+        entry = _entry()
+        assert entry_filename(entry) == f"serialization-{entry['case_id']}.json"
+
+    def test_missing_keys_rejected(self):
+        entry = _entry()
+        del entry["detail"]
+        with pytest.raises(InvalidParameterError):
+            validate_entry(entry)
+
+    def test_wrong_schema_rejected(self):
+        entry = {**_entry(), "schema": "other/v0"}
+        with pytest.raises(InvalidParameterError):
+            validate_entry(entry)
+
+    def test_unknown_oracle_rejected(self):
+        entry = {**_entry(), "oracle": "nope"}
+        with pytest.raises(InvalidParameterError):
+            validate_entry(entry)
+
+    def test_tampered_params_rejected_by_case_id(self):
+        entry = _entry()
+        entry["params"] = {"tree": {"kind": "int", "value": 9}}
+        with pytest.raises(InvalidParameterError):
+            validate_entry(entry)
+
+    def test_save_load_round_trip(self, tmp_path):
+        entry = _entry()
+        path = save_entry(entry, tmp_path)
+        assert load_entry(path) == entry
+        assert corpus_files(tmp_path) == [path]
+
+    def test_corpus_files_skips_non_json(self, tmp_path):
+        (tmp_path / "README.md").write_text("docs")
+        assert corpus_files(tmp_path) == []
+
+
+class TestCommittedCorpus:
+    def test_seed_corpus_is_present_and_valid(self):
+        paths = corpus_files(COMMITTED_CORPUS)
+        assert len(paths) >= 8, "seed corpus went missing"
+        oracles = {load_entry(path)["oracle"] for path in paths}
+        # Every oracle family is guarded by at least one committed entry
+        # (serialization has one; the other four have two each).
+        assert {"roundelim", "engines", "solver", "serialization", "views"} <= oracles
+
+    def test_filenames_match_entry_identity(self):
+        for path in corpus_files(COMMITTED_CORPUS):
+            assert path.name == entry_filename(load_entry(path))
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize(
+    "path", corpus_files(COMMITTED_CORPUS), ids=lambda path: path.name
+)
+def test_every_committed_entry_replays_green(path):
+    """The acceptance contract: the corpus is a regression suite — each
+    serialized case rebuilds deterministically and its oracle finds no
+    discrepancy."""
+    assert replay_entry(load_entry(path)) is None

@@ -1,0 +1,29 @@
+"""The acceptance-criterion fuzz volume, opt-in via ``-m fuzz``.
+
+Tier-1 keeps a small always-on batch (test_cli.py); this module carries
+the full 200-case sweep and its cross-jobs byte-determinism contract."""
+
+import pytest
+
+from repro.utils.serialization import canonical_dumps
+from repro.verification.cli import run_fuzz
+from repro.verification.oracles import available_oracles
+
+pytestmark = pytest.mark.fuzz
+
+
+def test_200_cases_zero_discrepancies_and_jobs_determinism():
+    names = available_oracles()
+    serial, serial_entries = run_fuzz(names, cases=200, seed=0, jobs=1)
+    parallel, _ = run_fuzz(names, cases=200, seed=0, jobs=4)
+    assert serial["ok"] is True, serial["discrepancies"]
+    assert serial_entries == []
+    assert canonical_dumps(serial) == canonical_dumps(parallel)
+    # Every oracle family got its share of the 200 cases.
+    assert all(stats["cases"] == 40 for stats in serial["oracles"].values())
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_other_seeds_are_also_clean(seed):
+    payload, _entries = run_fuzz(available_oracles(), cases=50, seed=seed)
+    assert payload["ok"] is True, payload["discrepancies"]

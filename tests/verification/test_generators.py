@@ -1,0 +1,82 @@
+"""Generators: deterministic, JSON-able, and buildable into valid objects."""
+
+import json
+import random
+
+import networkx as nx
+
+from repro.verification.generators import (
+    MAX_SOLVER_EDGES,
+    build_colored_graph,
+    build_problem,
+    build_support_graph,
+    build_value,
+    random_colored_graph_params,
+    random_engine_case_params,
+    random_problem_params,
+    random_supported_instance_params,
+    random_value_tree,
+)
+
+SEEDS = range(20)
+
+
+def test_generators_are_deterministic_per_seed():
+    for generate in (
+        random_problem_params,
+        random_colored_graph_params,
+        random_engine_case_params,
+        random_supported_instance_params,
+        random_value_tree,
+    ):
+        for seed in SEEDS:
+            first = generate(random.Random(f"g:{seed}"))
+            second = generate(random.Random(f"g:{seed}"))
+            assert first == second, generate.__name__
+
+
+def test_all_params_are_json_serializable():
+    rng = random.Random("json")
+    for generate in (
+        random_problem_params,
+        random_colored_graph_params,
+        random_engine_case_params,
+        random_supported_instance_params,
+        random_value_tree,
+    ):
+        params = generate(rng)
+        assert json.loads(json.dumps(params)) == params
+
+
+def test_random_problems_build_and_stay_in_alphabet():
+    for seed in SEEDS:
+        params = random_problem_params(random.Random(f"p:{seed}"))
+        problem = build_problem(params)
+        assert problem.white.labels <= problem.alphabet
+        assert problem.black.labels <= problem.alphabet
+        assert len(problem.white) >= 1 and len(problem.black) >= 1
+
+
+def test_random_colored_graphs_are_properly_two_colored():
+    for seed in SEEDS:
+        params = random_colored_graph_params(random.Random(f"c:{seed}"))
+        graph = build_colored_graph(params)
+        assert graph.number_of_edges() <= MAX_SOLVER_EDGES
+        for u, v in graph.edges:
+            assert graph.nodes[u]["color"] != graph.nodes[v]["color"]
+
+
+def test_supported_instances_input_is_subset_of_support():
+    for seed in SEEDS:
+        params = random_supported_instance_params(random.Random(f"s:{seed}"))
+        support = build_support_graph(params)
+        assert isinstance(support, nx.Graph)
+        for u, v in params["input_edges"]:
+            assert support.has_edge(u, v)
+        assert 0 <= params["radius"] <= 3
+
+
+def test_value_trees_build_to_python_values():
+    for seed in SEEDS:
+        tree = random_value_tree(random.Random(f"v:{seed}"))
+        build_value(tree)  # must not raise (hashability of set members etc.)

@@ -1,0 +1,64 @@
+"""The greedy minimizer, exercised through a synthetic oracle with a known
+minimal counterexample."""
+
+import random
+
+from repro.verification.oracles import Oracle
+from repro.verification.shrink import shrink_failing_case
+
+
+class ContainsSeven(Oracle):
+    """Fails iff the item list contains a 7; minimal failing case: [7]."""
+
+    name = "contains-seven"
+    description = "synthetic"
+
+    def __init__(self):
+        self.checks = 0
+
+    def generate(self, rng: random.Random) -> dict:
+        return {"items": [rng.randint(0, 9) for _ in range(8)]}
+
+    def check(self, params: dict) -> str | None:
+        self.checks += 1
+        if 7 in params["items"]:
+            return f"contains 7 (length {len(params['items'])})"
+        return None
+
+    def shrink(self, params: dict):
+        items = params["items"]
+        for index in range(len(items)):
+            yield {"items": items[:index] + items[index + 1 :]}
+
+
+def test_minimizes_to_the_known_minimum():
+    oracle = ContainsSeven()
+    params = {"items": [3, 7, 1, 7, 9, 0, 4]}
+    result = shrink_failing_case(oracle, params, "contains 7 (length 7)")
+    assert result.params == {"items": [7]}
+    assert "contains 7" in result.detail
+    assert result.steps >= 1
+
+
+def test_result_params_still_fail():
+    oracle = ContainsSeven()
+    params = oracle.generate(random.Random("shrink"))
+    params["items"].append(7)
+    detail = oracle.check(params)
+    result = shrink_failing_case(oracle, params, detail)
+    assert oracle.check(result.params) is not None
+
+
+def test_budget_bounds_candidate_evaluations():
+    oracle = ContainsSeven()
+    params = {"items": [7] * 40}
+    result = shrink_failing_case(oracle, params, "contains 7 (length 40)", budget=5)
+    assert result.attempts <= 5
+    assert 7 in result.params["items"]
+
+
+def test_already_minimal_case_is_returned_unchanged():
+    oracle = ContainsSeven()
+    result = shrink_failing_case(oracle, {"items": [7]}, "contains 7 (length 1)")
+    assert result.params == {"items": [7]}
+    assert result.steps == 0

@@ -1,0 +1,136 @@
+"""The ``python -m repro.verification`` CLI: list, fuzz, replay, exit codes,
+corpus writing and the jobs-parallel determinism contract."""
+
+import json
+import random
+
+import pytest
+
+from repro.utils.serialization import canonical_dumps
+from repro.verification.cli import generate_cases, main, run_fuzz
+from repro.verification.corpus import (
+    corpus_files,
+    load_entry,
+    make_entry,
+    replay_entry,
+    save_entry,
+)
+from repro.verification.oracles import ORACLES, Oracle, available_oracles
+
+
+def test_list_prints_every_oracle(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in available_oracles():
+        assert name in out
+
+
+def test_fuzz_clean_run_exits_zero_and_writes_payload(tmp_path, capsys):
+    out = tmp_path / "fuzz.json"
+    assert main(["fuzz", "--cases", "10", "--seed", "3", "--out", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["ok"] is True
+    assert payload["cases"] == 10
+    assert set(payload["oracles"]) == set(available_oracles())
+    assert payload["discrepancies"] == []
+    assert "fuzz" in capsys.readouterr().err
+
+
+def test_fuzz_payload_is_byte_identical_across_jobs():
+    names = available_oracles()
+    serial, _ = run_fuzz(names, cases=10, seed=0, jobs=1)
+    parallel, _ = run_fuzz(names, cases=10, seed=0, jobs=2)
+    assert canonical_dumps(serial) == canonical_dumps(parallel)
+
+
+def test_case_allocation_is_independent_of_execution_order():
+    names = available_oracles()
+    first = generate_cases(names, cases=12, seed=5)
+    second = generate_cases(names, cases=12, seed=5)
+    assert first == second
+    assert [task["oracle"] for task in first[: len(names)]] == names
+    assert generate_cases(names, cases=12, seed=6) != first
+
+
+def test_oracle_filter_restricts_cases(tmp_path):
+    out = tmp_path / "fuzz.json"
+    assert main([
+        "fuzz", "--cases", "6", "--oracle", "serialization",
+        "--oracle", "views", "--out", str(out),
+    ]) == 0
+    payload = json.loads(out.read_text())
+    assert set(payload["oracles"]) == {"serialization", "views"}
+
+
+class AlwaysBroken(Oracle):
+    """A planted failure: every case with more than one item fails."""
+
+    name = "always-broken"
+    description = "synthetic planted failure"
+
+    def generate(self, rng: random.Random) -> dict:
+        return {"items": [rng.randint(0, 9) for _ in range(6)]}
+
+    def check(self, params: dict) -> str | None:
+        if len(params["items"]) > 1:
+            return f"too many items: {len(params['items'])}"
+        return None
+
+    def shrink(self, params: dict):
+        items = params["items"]
+        for index in range(len(items)):
+            yield {"items": items[:index] + items[index + 1 :]}
+
+
+@pytest.fixture
+def broken_oracle(monkeypatch):
+    monkeypatch.setitem(ORACLES, AlwaysBroken.name, AlwaysBroken())
+
+
+def test_fuzz_failure_exits_nonzero_and_writes_minimized_corpus(
+    tmp_path, broken_oracle, capsys
+):
+    corpus = tmp_path / "corpus"
+    out = tmp_path / "fuzz.json"
+    code = main([
+        "fuzz", "--cases", "2", "--oracle", "always-broken",
+        "--corpus", str(corpus), "--out", str(out),
+    ])
+    assert code == 1
+    payload = json.loads(out.read_text())
+    assert payload["ok"] is False
+    assert payload["oracles"]["always-broken"]["discrepancies"] == 2
+    files = corpus_files(corpus)
+    assert files
+    for path in files:
+        entry = load_entry(path)
+        # Shrinking drove every counterexample to the 2-item local minimum.
+        assert len(entry["params"]["items"]) == 2
+    assert "minimized counterexample" in capsys.readouterr().err
+
+
+def test_replay_green_corpus_exits_zero(tmp_path):
+    entry = make_entry(
+        "serialization", {"tree": {"kind": "int", "value": 1}}, "seed", 0
+    )
+    save_entry(entry, tmp_path)
+    assert main(["replay", "--corpus", str(tmp_path)]) == 0
+
+
+def test_replay_failing_corpus_exits_nonzero(tmp_path, broken_oracle):
+    entry = make_entry("always-broken", {"items": [1, 2, 3]}, "planted", 0)
+    save_entry(entry, tmp_path)
+    assert replay_entry(entry) is not None
+    out = tmp_path / "replay.json"
+    assert main(["replay", "--corpus", str(tmp_path), "--out", str(out)]) == 1
+    payload = json.loads(out.read_text())
+    assert payload["ok"] is False
+    assert payload["entries"][0]["detail"].startswith("too many items")
+
+
+def test_replay_empty_or_missing_corpus_fails_loudly(tmp_path, capsys):
+    """A path typo must not disarm the CI regression gate by replaying
+    zero entries 'successfully'."""
+    assert main(["replay", "--corpus", str(tmp_path / "missing")]) == 1
+    assert main(["replay", "--corpus", str(tmp_path)]) == 1
+    assert "no corpus entries" in capsys.readouterr().err
