@@ -685,3 +685,97 @@ def verification_fuzz(scenario: Scenario, rng: random.Random) -> list[dict]:
         }
         for name, stats in sorted(payload["oracles"].items())
     ]
+
+
+# --------------------------------------------------------------------------
+# Round elimination exploration (repro.roundelim.explore)
+# --------------------------------------------------------------------------
+
+
+@pipeline("exploration_search")
+def exploration_search(scenario: Scenario, rng: random.Random) -> list[dict]:
+    """One frontier search over a paper family, summarized per family.
+
+    Roots come from the problem family the scenario's ``family`` field
+    names (``matching`` uses ``scenario.sizes`` as the x-sweep of
+    Π_Δ(x,1); ``ruling`` / ``arbdefective`` seed their single family
+    problem — no graph is involved, so the field is free for this); the
+    search runs with the scenario's policy knobs and the record distills
+    the deterministic :class:`ExplorationReport`.  ``jobs`` (worker
+    processes inside the explorer) and ``re_engine`` are execution
+    details: by the explorer's determinism contract and the operator
+    engine contract the record — including the embedded report digest —
+    is byte-identical across both, which is what the suite's
+    ``-jobs4`` / ``-reference-engine`` twin scenarios pin down.
+    """
+    from repro.roundelim.explore import (
+        ExplorationLimits,
+        ExplorationPolicy,
+        explore,
+    )
+
+    family = scenario.family or "matching"
+    delta = scenario.option("delta", 3)
+    if family == "matching":
+        x_values = tuple(scenario.sizes) or tuple(range(delta))
+        roots = [pi_matching(delta, x, 1) for x in x_values]
+    elif family == "ruling":
+        roots = [
+            pi_ruling(delta, scenario.option("colors", 1), scenario.option("beta", 2))
+        ]
+    elif family == "arbdefective":
+        roots = [pi_arbdefective(delta, scenario.option("k", 2))]
+    else:
+        raise InvalidParameterError(
+            f"unknown exploration family {family!r}; "
+            f"known: ['arbdefective', 'matching', 'ruling']"
+        )
+    policy = ExplorationPolicy(
+        order=scenario.option("order", "bfs"),
+        moves=tuple(scenario.option("moves", ("RE",))),
+        step_budget=scenario.option("step_budget", 200_000),
+        engine=scenario.option("re_engine", "kernel"),
+        zero_round=scenario.option("zero_round", "uniform"),
+    )
+    limits = ExplorationLimits(
+        max_depth=scenario.option("max_depth", 1),
+        max_nodes=scenario.option("max_nodes", 8),
+    )
+    report = explore(
+        roots, policy=policy, limits=limits, jobs=scenario.option("jobs", 1)
+    )
+    payload = report.payload()
+
+    expect_sequence = scenario.option("expect_sequence_length", 0)
+    expect_fixed_point = scenario.option("expect_fixed_point")
+    fixed_point_ok = True
+    if expect_fixed_point == "exact":
+        fixed_point_ok = len(report.fixed_points) >= 1
+    elif expect_fixed_point == "relaxation":
+        fixed_point_ok = len(report.relaxation_fixed_points) >= 1
+    consistent = (
+        report.visited == len(report.nodes)
+        and report.expanded <= limits.max_nodes
+        and all(node["depth"] <= limits.max_depth for node in report.nodes.values())
+    )
+    return [
+        {
+            "family": family,
+            "delta": delta,
+            "visited": report.visited,
+            "expanded": report.expanded,
+            "dedup_hits": report.dedup_hits,
+            "budget_exhausted_ops": report.counts["budget_exhausted_ops"],
+            "steps": report.counts["steps"],
+            "exact_fixed_points": len(report.fixed_points),
+            "relaxation_fixed_points": len(report.relaxation_fixed_points),
+            "zero_round_nodes": len(report.zero_round_nodes),
+            "sequences": len(report.sequences),
+            "verified_sequences": len(report.verified_sequences),
+            "best_sequence_length": report.best_sequence_length,
+            "report_digest": payload["digest"],
+            "valid": consistent
+            and fixed_point_ok
+            and report.best_sequence_length >= expect_sequence,
+        }
+    ]

@@ -185,8 +185,95 @@ SUITES: dict[str, tuple[Scenario, ...]] = {
             oracles=("solver", "views"),
         ),
     ),
+    # Round elimination exploration (repro.roundelim.explore): frontier
+    # search over the paper families.  The matching Δ=3 scenario is the
+    # acceptance criterion — it must *rediscover* the Corollary 4.6
+    # chain Π_3(0,1) → Π_3(1,1) → Π_3(2,1) as a verified lower bound
+    # sequence and classify Π_3(2,1) as the family's fixed point; its
+    # -jobs4 and -reference-engine twins pin the worker- and
+    # engine-independence of the records.
+    "exploration": (
+        Scenario.create(
+            "explore-matching-d3",
+            pipeline="exploration_search",
+            sizes=(0, 1, 2),
+            family="matching",
+            delta=3,
+            max_depth=1,
+            max_nodes=8,
+            expect_sequence_length=2,
+            expect_fixed_point="relaxation",
+        ),
+        Scenario.create(
+            "explore-matching-d3-jobs4",
+            pipeline="exploration_search",
+            sizes=(0, 1, 2),
+            family="matching",
+            delta=3,
+            max_depth=1,
+            max_nodes=8,
+            expect_sequence_length=2,
+            expect_fixed_point="relaxation",
+            jobs=4,
+        ),
+        Scenario.create(
+            "explore-matching-d3-reference-engine",
+            pipeline="exploration_search",
+            sizes=(0, 1, 2),
+            family="matching",
+            delta=3,
+            max_depth=1,
+            max_nodes=8,
+            expect_sequence_length=2,
+            expect_fixed_point="relaxation",
+            re_engine="reference",
+        ),
+        Scenario.create(
+            "explore-arbdefective-fixed-point",
+            pipeline="exploration_search",
+            family="arbdefective",
+            delta=3,
+            k=2,
+            max_depth=2,
+            max_nodes=4,
+            expect_sequence_length=2,
+            expect_fixed_point="exact",
+        ),
+        Scenario.create(
+            "explore-ruling-d3",
+            pipeline="exploration_search",
+            family="ruling",
+            delta=3,
+            colors=1,
+            beta=2,
+            max_depth=1,
+            max_nodes=2,
+        ),
+        Scenario.create(
+            "explore-merge-best-first",
+            pipeline="exploration_search",
+            sizes=(2,),
+            family="matching",
+            delta=3,
+            order="min-alphabet",
+            moves=("RE", "merge"),
+            max_depth=2,
+            max_nodes=6,
+        ),
+    ),
     # The CI gate: one fast scenario per family, sized for < 60 s total.
     "smoke": (
+        Scenario.create(
+            "smoke-exploration",
+            pipeline="exploration_search",
+            sizes=(1, 2),
+            family="matching",
+            delta=3,
+            max_depth=1,
+            max_nodes=4,
+            expect_sequence_length=2,
+            expect_fixed_point="relaxation",
+        ),
         Scenario.create(
             "smoke-verification-fuzz",
             pipeline="verification_fuzz",

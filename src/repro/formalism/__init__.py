@@ -38,6 +38,12 @@ from repro.formalism.labels import (
     set_label,
     set_label_members,
 )
+from repro.formalism.normalize import (
+    NormalForm,
+    canonical_digest,
+    normal_form,
+    problem_from_payload,
+)
 from repro.formalism.parsing import (
     parse_condensed,
     parse_configuration,
@@ -59,10 +65,12 @@ __all__ = [
     "ConstraintTable",
     "Label",
     "LabelEncoding",
+    "NormalForm",
     "Problem",
     "ProblemEncoding",
     "bits_of",
     "black_diagram",
+    "canonical_digest",
     "color_label",
     "color_label_members",
     "condensed",
@@ -77,10 +85,12 @@ __all__ = [
     "is_right_closed",
     "is_set_label",
     "mask_sort_key",
+    "normal_form",
     "parse_condensed",
     "parse_configuration",
     "parse_constraint",
     "problem_from_lines",
+    "problem_from_payload",
     "render_configuration",
     "render_diagram",
     "render_problem",

@@ -1,0 +1,249 @@
+"""Canonical normal forms of problems under label renaming.
+
+Two problems that differ only in label *spelling* — ``Π`` and
+``Π.rename(σ)`` for a bijection σ, or the same constraints written with
+their configuration lines in a different order — are the same
+mathematical object, and the exploration engine
+(:mod:`repro.roundelim.explore`) must treat them as one search node.
+This module computes a *canonical form*: a deterministic renaming of the
+alphabet to ``x0, x1, …`` derived purely from constraint structure, so
+
+* ``normal_form(p).digest == normal_form(p.rename(σ)).digest`` for every
+  label bijection σ, and
+* two problems share a digest **iff** they are isomorphic (the canonical
+  form is complete: it minimizes over all structure-respecting orders).
+
+The algorithm is the classic refine-then-minimize scheme:
+
+1. partition labels by renaming-invariant *signatures* (per-constraint
+   occurrence-multiplicity vectors, :meth:`Constraint.label_occurrence_signature`);
+2. refine the partition with co-occurrence profiles (which classes a
+   label appears next to, with multiplicities) until it stabilizes —
+   ordinary color refinement on the configuration hypergraph;
+3. among all total orders that respect the refined class order, pick the
+   one whose integer encoding of the constraints is lexicographically
+   minimal.  Classes are almost always singletons after refinement, so
+   the minimization usually inspects exactly one order; a budget guards
+   the symmetric worst case.
+
+The canonical *payload* (plain JSON: arities, alphabet size, constraint
+index matrices) is what the content-addressed store hashes; the
+canonical :class:`Problem` is rebuilt from that payload, so any two
+isomorphic inputs produce byte-identical payloads, digests and problems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations, product
+from math import factorial
+
+from repro.formalism.configurations import Configuration, Label
+from repro.formalism.constraints import Constraint
+from repro.formalism.problems import Problem
+from repro.utils import SolverLimitError
+from repro.utils.serialization import result_digest
+
+#: Schema tag embedded in every canonical payload (hash-relevant: bump it
+#: and every digest changes, which is the intended cache invalidation).
+NORMAL_FORM_SCHEMA = "repro.normalize/v1"
+
+#: Digest length (hex chars) for canonical problem identities.  Longer
+#: than the 16-char result digests used for payload fingerprints: the
+#: store treats digest equality as problem identity, so collisions must
+#: be out of reach (128 bits here).
+DIGEST_LENGTH = 32
+
+#: Cap on the number of class-respecting label orders the minimization
+#: may inspect.  Refinement leaves symmetric orbits only for genuinely
+#: label-transitive problems; 8! bounds the worst case we accept before
+#: raising instead of stalling.
+PERMUTATION_LIMIT = 40_320
+
+
+def canonical_label(index: int) -> Label:
+    """The canonical spelling of the label with canonical index ``index``."""
+    return f"x{index}"
+
+
+def _signature_key(problem: Problem, label: Label) -> tuple:
+    return (
+        problem.white.label_occurrence_signature(label),
+        problem.black.label_occurrence_signature(label),
+    )
+
+
+def _cooccurrence_profile(
+    constraint: Constraint, label: Label, class_of: dict[Label, int]
+) -> tuple:
+    """Which classes ``label`` co-occurs with, per configuration.
+
+    For every configuration containing the label: its own multiplicity
+    plus the sorted (class, count) census of the whole configuration.
+    Invariant under renaming because it only mentions class indices.
+    """
+    entries = []
+    for config in constraint.configurations:
+        own = config.count(label)
+        if own == 0:
+            continue
+        census: dict[int, int] = {}
+        for member, count in config.counter.items():
+            cls = class_of[member]
+            census[cls] = census.get(cls, 0) + count
+        entries.append((own, tuple(sorted(census.items()))))
+    return tuple(sorted(entries))
+
+
+def _refined_classes(problem: Problem) -> list[list[Label]]:
+    """Stable partition of the alphabet into renaming-invariant classes.
+
+    Classes come back ordered by their invariant key and internally
+    sorted (the internal order is arbitrary — the minimization below is
+    what breaks remaining ties).
+    """
+    labels = sorted(problem.alphabet)
+    key: dict[Label, tuple] = {
+        label: _signature_key(problem, label) for label in labels
+    }
+    while True:
+        distinct = sorted(set(key.values()))
+        index = {value: position for position, value in enumerate(distinct)}
+        class_of = {label: index[key[label]] for label in labels}
+        refined = {
+            label: (
+                class_of[label],
+                _cooccurrence_profile(problem.white, label, class_of),
+                _cooccurrence_profile(problem.black, label, class_of),
+            )
+            for label in labels
+        }
+        if len(set(refined.values())) == len(distinct):
+            groups: dict[int, list[Label]] = {}
+            for label in labels:
+                groups.setdefault(class_of[label], []).append(label)
+            return [groups[position] for position in sorted(groups)]
+        key = refined
+
+
+def _constraint_encoding(
+    constraint: Constraint, index_of: dict[Label, int]
+) -> tuple[tuple[int, ...], ...]:
+    """The constraint as a sorted matrix of canonical label indices."""
+    return tuple(
+        sorted(
+            tuple(sorted(index_of[label] for label in config.labels))
+            for config in constraint.configurations
+        )
+    )
+
+
+def _minimal_order(
+    problem: Problem, classes: list[list[Label]]
+) -> tuple[list[Label], tuple, tuple]:
+    """The class-respecting label order with the smallest encoding.
+
+    Returns (order, white encoding, black encoding).  Any two orders
+    achieving the minimum yield the *same* canonical problem (the
+    problem is rebuilt from the encoding, not from the order), so ties
+    are harmless.
+    """
+    total = 1
+    for group in classes:
+        total *= factorial(len(group))
+        if total > PERMUTATION_LIMIT:
+            raise SolverLimitError(
+                f"canonicalization would inspect {total}+ label orders "
+                f"(limit {PERMUTATION_LIMIT}); the problem is too symmetric"
+            )
+    best: tuple | None = None
+    best_order: list[Label] | None = None
+    for combo in product(*(permutations(group) for group in classes)):
+        order = [label for group in combo for label in group]
+        index_of = {label: position for position, label in enumerate(order)}
+        encoding = (
+            _constraint_encoding(problem.white, index_of),
+            _constraint_encoding(problem.black, index_of),
+        )
+        if best is None or encoding < best:
+            best = encoding
+            best_order = order
+    assert best is not None and best_order is not None
+    return best_order, best[0], best[1]
+
+
+@dataclass(frozen=True)
+class NormalForm:
+    """The canonical form of a problem: payload, digest, problem, witness."""
+
+    payload: dict
+    digest: str
+    problem: Problem
+    mapping: dict[Label, Label]  # original label -> canonical label
+
+
+def canonical_payload_of_parts(
+    alphabet_size: int,
+    white_arity: int,
+    black_arity: int,
+    white: tuple[tuple[int, ...], ...],
+    black: tuple[tuple[int, ...], ...],
+) -> dict:
+    """Assemble the hashable canonical payload from encoded parts."""
+    return {
+        "schema": NORMAL_FORM_SCHEMA,
+        "alphabet_size": alphabet_size,
+        "white_arity": white_arity,
+        "black_arity": black_arity,
+        "white": [list(config) for config in white],
+        "black": [list(config) for config in black],
+    }
+
+
+def normal_form(problem: Problem, name: str | None = None) -> NormalForm:
+    """Compute the canonical form of ``problem``.
+
+    The returned problem uses labels ``x0 … x{n-1}``; its constraints
+    are rebuilt from the minimal encoding so isomorphic inputs map to
+    the *identical* object.  ``mapping`` witnesses the renaming.
+    """
+    classes = _refined_classes(problem)
+    order, white_enc, black_enc = _minimal_order(problem, classes)
+    mapping = {
+        label: canonical_label(position) for position, label in enumerate(order)
+    }
+    payload = canonical_payload_of_parts(
+        alphabet_size=len(problem.alphabet),
+        white_arity=problem.white_arity,
+        black_arity=problem.black_arity,
+        white=white_enc,
+        black=black_enc,
+    )
+    canonical = problem_from_payload(payload, name=name or problem.name)
+    return NormalForm(
+        payload=payload,
+        digest=result_digest(payload, length=DIGEST_LENGTH),
+        problem=canonical,
+        mapping=mapping,
+    )
+
+
+def canonical_digest(problem: Problem) -> str:
+    """The content address of a problem (shared by all its renamings)."""
+    return normal_form(problem).digest
+
+
+def problem_from_payload(payload: dict, name: str = "Π") -> Problem:
+    """Rebuild the canonical :class:`Problem` a payload describes."""
+    alphabet = frozenset(
+        canonical_label(index) for index in range(payload["alphabet_size"])
+    )
+    white = Constraint(
+        Configuration(canonical_label(index) for index in config)
+        for config in payload["white"]
+    )
+    black = Constraint(
+        Configuration(canonical_label(index) for index in config)
+        for config in payload["black"]
+    )
+    return Problem(alphabet=alphabet, white=white, black=black, name=name)

@@ -22,8 +22,20 @@ from repro.roundelim.sequences import (
     constant_sequence,
     sequence_from_family,
 )
+from repro.roundelim.explore import (
+    ExplorationLimits,
+    ExplorationPolicy,
+    ExplorationReport,
+    ProblemStore,
+    explore,
+)
 
 __all__ = [
+    "ExplorationLimits",
+    "ExplorationPolicy",
+    "ExplorationReport",
+    "ProblemStore",
+    "explore",
     "DEFAULT_ENGINE",
     "ENGINES",
     "FixedPointReport",

@@ -1,0 +1,118 @@
+"""Per-node classification: zero-round solvability and fixed points.
+
+Every node the frontier visits is classified so the search can stop
+walking chains that already prove something:
+
+* **zero-round solvable** — the chain below this problem adds no lower
+  bound rounds.  The cheap *uniform* test (∃ℓ with ℓ^{d_W} ∈ C_W and
+  ℓ^{d_B} ∈ C_B: every node outputs ℓ everywhere) is sufficient but not
+  necessary; the *exhaustive* test brute-forces the full 0-round
+  algorithm space of :mod:`repro.core.zero_round` on the smallest
+  (d_W, d_B)-biregular support and is exact on that support — but
+  exponential, so it is gated to tiny instances and returns ``None``
+  (unknown) beyond them.
+* **fixed point** — RE(Π) ≅ Π (Lemma 5.4's notion).  Content addressing
+  makes the exact check free: canonical digests are equal iff the
+  problems are isomorphic.  The weaker *relaxation* fixed point (Π is a
+  relaxation of RE(Π), all Corollary 5.5 needs) reuses
+  :func:`repro.formalism.relaxations.find_label_relaxation`, exactly as
+  :mod:`repro.roundelim.fixed_points` does.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.formalism.configurations import Configuration
+from repro.formalism.problems import Problem
+from repro.formalism.relaxations import (
+    find_config_map_relaxation,
+    find_label_relaxation,
+)
+from repro.utils import SolverError
+
+#: Edge-count cap for the exhaustive zero-round check: the subgraph
+#: enumeration alone is 2^edges, and the algorithm space is exponential
+#: on top of it.
+EXHAUSTIVE_EDGE_CAP = 6
+
+#: Alphabet cap for the exhaustive zero-round check.
+EXHAUSTIVE_ALPHABET_CAP = 3
+
+ZERO_ROUND_MODES = ("uniform", "exhaustive")
+
+
+def uniform_zero_round(problem: Problem) -> bool:
+    """∃ℓ: the all-ℓ labeling satisfies both constraints at full degree.
+
+    Sufficient for 0-round solvability in the Supported LOCAL model:
+    every white node outputs ℓ on every incident input edge without
+    looking at anything.
+    """
+    for label in sorted(problem.alphabet):
+        if (
+            Configuration([label] * problem.white_arity) in problem.white
+            and Configuration([label] * problem.black_arity) in problem.black
+        ):
+            return True
+    return False
+
+
+def _smallest_biregular_support(white_arity: int, black_arity: int) -> nx.Graph:
+    """K_{d_B, d_W} with colors: white degree d_W, black degree d_B."""
+    graph = nx.Graph()
+    whites = [f"w{index}" for index in range(black_arity)]
+    blacks = [f"b{index}" for index in range(white_arity)]
+    for node in whites:
+        graph.add_node(node, color="white")
+    for node in blacks:
+        graph.add_node(node, color="black")
+    for white in whites:
+        for black in blacks:
+            graph.add_edge(white, black)
+    return graph
+
+
+def exhaustive_zero_round(problem: Problem) -> bool | None:
+    """Exact 0-round existence on the smallest biregular support.
+
+    ``None`` means the instance exceeds the brute-force envelope (too
+    many edges, too large an alphabet, or the algorithm space overflow
+    guard of :func:`repro.core.zero_round.exists_zero_round_algorithm`
+    tripped) — the caller records "unknown", never a guess.
+    """
+    from repro.core.zero_round import exists_zero_round_algorithm
+
+    if problem.white_arity < 1 or problem.black_arity < 1:
+        return None
+    if problem.white_arity * problem.black_arity > EXHAUSTIVE_EDGE_CAP:
+        return None
+    if len(problem.alphabet) > EXHAUSTIVE_ALPHABET_CAP:
+        return None
+    support = _smallest_biregular_support(problem.white_arity, problem.black_arity)
+    try:
+        return exists_zero_round_algorithm(
+            support, problem, edge_limit=EXHAUSTIVE_EDGE_CAP
+        )
+    except SolverError:
+        return None
+
+
+def is_relaxation_fixed_point(
+    problem: Problem, eliminated: Problem, config_map_white_cap: int = 8
+) -> bool:
+    """Π is a relaxation of RE(Π) — Corollary 5.5's requirement.
+
+    ``eliminated`` is the (canonical) RE output.  The label-map search
+    of :func:`repro.roundelim.fixed_points.analyze_fixed_point` runs
+    first; when it fails, the general ordered-configuration-map notion
+    (§2) is tried, because some family endpoints — e.g. Π_3(2,1) of the
+    Δ=3 matching family — are fixed points only under the general
+    definition.  The fallback is capped on the eliminated problem's
+    white-constraint size (its search permutes target configurations).
+    """
+    if find_label_relaxation(eliminated, problem) is not None:
+        return True
+    if len(eliminated.white) > config_map_white_cap:
+        return False
+    return find_config_map_relaxation(eliminated, problem) is not None

@@ -1,0 +1,104 @@
+"""The exploration result object and its canonical JSON payload.
+
+The report is the deterministic artifact of one exploration run.  Its
+payload obeys the same contract as the experiment runner's: it depends
+only on (roots, policy, limits) — never on wall-clock, worker count or
+store temperature — so ``--jobs 4`` output is byte-identical to serial
+and a warm resumed run reproduces the cold run's bytes.  Store telemetry
+(hit/miss counters) *does* depend on temperature, so it lives on the
+dataclass, outside :meth:`ExplorationReport.payload`, mirroring how
+:class:`~repro.experiments.scenarios.ScenarioResult` keeps wall seconds
+out of its payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.serialization import canonical_dumps, result_digest
+
+REPORT_SCHEMA = "repro.explore/report-v1"
+
+
+@dataclass(frozen=True)
+class ExplorationReport:
+    """Everything one frontier search discovered."""
+
+    roots: tuple[str, ...]
+    policy: dict
+    limits: dict
+    nodes: dict[str, dict]
+    edges: tuple[dict, ...]
+    steps: tuple[dict, ...]
+    sequences: tuple[dict, ...]
+    counts: dict
+    store_stats: dict = field(compare=False, default_factory=dict)
+
+    @property
+    def visited(self) -> int:
+        return self.counts["visited"]
+
+    @property
+    def expanded(self) -> int:
+        return self.counts["expanded"]
+
+    @property
+    def dedup_hits(self) -> int:
+        return self.counts["dedup_hits"]
+
+    @property
+    def fixed_points(self) -> list[str]:
+        """Digests classified as exact fixed points (RE(Π) ≅ Π)."""
+        return [
+            digest
+            for digest, node in sorted(self.nodes.items())
+            if node.get("exact_fixed_point") is True
+        ]
+
+    @property
+    def relaxation_fixed_points(self) -> list[str]:
+        """Digests whose problem relaxes its own RE (Corollary 5.5)."""
+        return [
+            digest
+            for digest, node in sorted(self.nodes.items())
+            if node.get("relaxation_fixed_point") is True
+        ]
+
+    @property
+    def zero_round_nodes(self) -> list[str]:
+        return [
+            digest
+            for digest, node in sorted(self.nodes.items())
+            if node.get("zero_round") is True
+        ]
+
+    @property
+    def verified_sequences(self) -> list[dict]:
+        return [entry for entry in self.sequences if entry["verified"]]
+
+    @property
+    def best_sequence_length(self) -> int:
+        lengths = [entry["length"] for entry in self.verified_sequences]
+        return max(lengths, default=0)
+
+    def payload(self) -> dict:
+        """The deterministic canonical-JSON document of this run."""
+        body = {
+            "schema": REPORT_SCHEMA,
+            "roots": list(self.roots),
+            "policy": self.policy,
+            "limits": self.limits,
+            "nodes": self.nodes,
+            "edges": list(self.edges),
+            "steps": list(self.steps),
+            "sequences": list(self.sequences),
+            "fixed_points": self.fixed_points,
+            "relaxation_fixed_points": self.relaxation_fixed_points,
+            "zero_round": self.zero_round_nodes,
+            "counts": self.counts,
+        }
+        body["digest"] = result_digest(body)
+        return body
+
+    def canonical_json(self, indent: int | None = None) -> str:
+        return canonical_dumps(self.payload(), indent=indent)

@@ -1,0 +1,334 @@
+"""The content-addressed problem store.
+
+Problems are *interned* to their canonical form
+(:mod:`repro.formalism.normalize`) and addressed by the canonical
+digest, so every label-renaming of a problem shares one identity, one
+node record and one memoized result per operator.  Two tiers:
+
+* an **in-memory LRU** of operator results, bounded by ``capacity``;
+* an optional **on-disk tier** (canonical JSON under ``root/``),
+  written through on every record and consulted on every memory miss —
+  a store reopened on the same directory resumes with every previously
+  computed step available, which is what makes exploration runs
+  kill-and-resume safe.
+
+Layout of the disk tier::
+
+    root/nodes/<digest>.json               canonical problem payload
+    root/ops/<digest>.<op>.<budget>.json   operator outcome
+    root/links/<strict>.<relaxed>.json     relaxation-witness outcome
+
+An operator outcome records ``status`` (``"ok"`` or
+``"budget_exhausted"``) and the child digest; results are stored as
+canonical payloads, so everything the store returns is byte-identical
+no matter which engine computed it, in which process, or in which run.
+The memo key deliberately includes the *budget* (exhaustion depends on
+it) and excludes the *engine* (the operator contract makes results
+engine-independent — the ``explore`` differential oracle enforces it).
+
+Relaxation-witness queries ("does problem A relax onto problem B?") are
+memoized the same way: witness existence is a property of the two
+canonical forms only, and the searches behind it (label-map and ordered
+configuration-map backtracking) dominate warm exploration wall-clock if
+recomputed, so they are first-class store entries alongside R / R̄ / RE.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.formalism.normalize import (
+    NormalForm,
+    normal_form,
+    problem_from_payload,
+)
+from repro.formalism.problems import Problem
+from repro.roundelim.operators import (
+    DEFAULT_ENGINE,
+    apply_R,
+    apply_R_bar,
+    round_elimination,
+)
+from repro.utils import InvalidParameterError, SolverLimitError
+from repro.utils.serialization import write_json
+
+NODE_SCHEMA = "repro.explore/node-v1"
+OP_SCHEMA = "repro.explore/op-v1"
+LINK_SCHEMA = "repro.explore/link-v1"
+
+#: The operators the store can memoize.
+OPERATORS = ("R", "R_bar", "RE")
+
+_OPERATOR_FNS = {
+    "R": apply_R,
+    "R_bar": apply_R_bar,
+    "RE": round_elimination,
+}
+
+STATUS_OK = "ok"
+STATUS_BUDGET = "budget_exhausted"
+
+#: Relaxation-witness kinds a memoized link query can resolve to.
+WITNESS_LABEL_MAP = "label_map"
+WITNESS_CONFIG_MAP = "config_map"
+WITNESS_NONE = "none"
+
+#: The ordered-configuration-map search permutes target configurations
+#: per source configuration; past this many source white configurations
+#: it is skipped and the query resolves against label maps only.  Part
+#: of the memoized query's semantics, so a module constant, not policy.
+CONFIG_MAP_WHITE_CAP = 8
+
+
+def compute_relaxation(strict_payload: dict, relaxed_payload: dict) -> dict:
+    """Search for a relaxation witness between two canonical problems.
+
+    Label maps first (the common case), then the paper's general ordered
+    configuration maps (capped, see :data:`CONFIG_MAP_WHITE_CAP`).  A
+    ``"none"`` answer means *no witness found under these semantics* —
+    callers must treat it as inconclusive beyond the cap, never as a
+    refutation.
+    """
+    from repro.formalism.relaxations import (
+        find_config_map_relaxation,
+        find_label_relaxation,
+    )
+
+    strict = problem_from_payload(strict_payload)
+    relaxed = problem_from_payload(relaxed_payload)
+    if (
+        strict.white_arity != relaxed.white_arity
+        or strict.black_arity != relaxed.black_arity
+    ):
+        return {"witness": WITNESS_NONE}
+    if find_label_relaxation(strict, relaxed) is not None:
+        return {"witness": WITNESS_LABEL_MAP}
+    if (
+        len(strict.white) <= CONFIG_MAP_WHITE_CAP
+        and find_config_map_relaxation(strict, relaxed) is not None
+    ):
+        return {"witness": WITNESS_CONFIG_MAP}
+    return {"witness": WITNESS_NONE}
+
+
+def compute_step(payload: dict, op: str, budget: int, engine: str) -> dict:
+    """Apply one operator to a canonical payload — the pure worker body.
+
+    Stateless and picklable-argument-only so the frontier can ship it to
+    :mod:`multiprocessing` workers; the result is a plain dict merged
+    into the store by the parent.  Budget exhaustion is an *outcome*,
+    not an error: a search must record it and move on.
+    """
+    if op not in _OPERATOR_FNS:
+        raise InvalidParameterError(
+            f"unknown store operator {op!r}; known: {list(OPERATORS)}"
+        )
+    problem = problem_from_payload(payload)
+    try:
+        result = _OPERATOR_FNS[op](problem, budget=budget, engine=engine)
+    except SolverLimitError:
+        return {"status": STATUS_BUDGET, "child": None, "child_payload": None}
+    child = normal_form(result)
+    return {
+        "status": STATUS_OK,
+        "child": child.digest,
+        "child_payload": child.payload,
+    }
+
+
+def _compute_task(task: tuple[dict, str, int, str]) -> dict:
+    """Tuple adapter for :func:`multiprocessing.Pool.map`."""
+    payload, op, budget, engine = task
+    return compute_step(payload, op, budget, engine)
+
+
+@dataclass
+class StoreStats:
+    """Where answers came from during a store's lifetime."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    computed: int = 0
+    computed_links: int = 0
+    evictions: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "computed": self.computed,
+            "computed_links": self.computed_links,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class ProblemStore:
+    """Content-addressed, two-tier memo store for operator results."""
+
+    capacity: int = 4096
+    root: Path | None = None
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise InvalidParameterError("store capacity must be >= 1")
+        if self.root is not None:
+            self.root = Path(self.root)
+            (self.root / "nodes").mkdir(parents=True, exist_ok=True)
+            (self.root / "ops").mkdir(parents=True, exist_ok=True)
+            (self.root / "links").mkdir(parents=True, exist_ok=True)
+        self._results: OrderedDict[tuple[str, str, int], dict] = OrderedDict()
+        self._payloads: dict[str, dict] = {}
+
+    # -- interning ---------------------------------------------------------
+
+    def intern(self, problem: Problem) -> NormalForm:
+        """Canonicalize a problem and register its payload."""
+        form = normal_form(problem)
+        self.register_payload(form.digest, form.payload)
+        return form
+
+    def register_payload(self, digest: str, payload: dict) -> None:
+        """Record a canonical payload under its digest (both tiers)."""
+        if digest not in self._payloads:
+            self._payloads[digest] = payload
+            if self.root is not None:
+                target = self.root / "nodes" / f"{digest}.json"
+                if not target.exists():
+                    write_json(target, {"schema": NODE_SCHEMA, **payload})
+
+    def payload_of(self, digest: str) -> dict:
+        """The canonical payload of an interned digest (memory, then disk)."""
+        payload = self._payloads.get(digest)
+        if payload is not None:
+            return payload
+        if self.root is not None:
+            target = self.root / "nodes" / f"{digest}.json"
+            if target.exists():
+                import json
+
+                loaded = json.loads(target.read_text())
+                loaded.pop("schema", None)
+                self._payloads[digest] = loaded
+                return loaded
+        raise InvalidParameterError(f"unknown problem digest {digest!r}")
+
+    def problem_of(self, digest: str, name: str | None = None) -> Problem:
+        """Rebuild the canonical problem behind a digest."""
+        return problem_from_payload(self.payload_of(digest), name=name or digest[:8])
+
+    # -- memoized operator results ----------------------------------------
+
+    def lookup(self, digest: str, op: str, budget: int) -> dict | None:
+        """A previously recorded outcome, or None (counts a miss)."""
+        key = (digest, op, budget)
+        entry = self._results.get(key)
+        if entry is not None:
+            self._results.move_to_end(key)
+            self.stats.memory_hits += 1
+            return entry
+        if self.root is not None:
+            target = self.root / "ops" / f"{digest}.{op}.{budget}.json"
+            if target.exists():
+                import json
+
+                loaded = json.loads(target.read_text())
+                entry = {"status": loaded["status"], "child": loaded["child"]}
+                self._remember(key, entry)
+                self.stats.disk_hits += 1
+                return entry
+        self.stats.misses += 1
+        return None
+
+    def record(self, digest: str, op: str, budget: int, outcome: dict) -> dict:
+        """Merge one computed outcome into both tiers; returns the entry."""
+        entry = {"status": outcome["status"], "child": outcome.get("child")}
+        if outcome.get("child_payload") is not None:
+            self.register_payload(outcome["child"], outcome["child_payload"])
+        self._remember((digest, op, budget), entry)
+        if self.root is not None:
+            write_json(
+                self.root / "ops" / f"{digest}.{op}.{budget}.json",
+                {
+                    "schema": OP_SCHEMA,
+                    "digest": digest,
+                    "op": op,
+                    "budget": budget,
+                    **entry,
+                },
+            )
+        return entry
+
+    def _remember(self, key: tuple[str, str, int], entry: dict) -> None:
+        self._results[key] = entry
+        self._results.move_to_end(key)
+        while len(self._results) > self.capacity:
+            self._results.popitem(last=False)
+            self.stats.evictions += 1
+
+    def apply(
+        self,
+        digest: str,
+        op: str,
+        budget: int,
+        engine: str = DEFAULT_ENGINE,
+    ) -> dict:
+        """Memoized operator application on an interned problem.
+
+        Returns ``{"status": ..., "child": digest|None}``; computes (and
+        records) only on a two-tier miss.
+        """
+        entry = self.lookup(digest, op, budget)
+        if entry is not None:
+            return entry
+        outcome = compute_step(self.payload_of(digest), op, budget, engine)
+        self.stats.computed += 1
+        return self.record(digest, op, budget, outcome)
+
+    # -- memoized relaxation witnesses ------------------------------------
+
+    def relaxation(self, strict_digest: str, relaxed_digest: str) -> dict:
+        """Memoized relaxation-witness query between interned problems.
+
+        Returns ``{"witness": "label_map"|"config_map"|"none"}``; the
+        answer depends only on the two canonical forms, so it is cached
+        under the digest pair in both tiers.
+        """
+        key = (strict_digest, f"relax>{relaxed_digest}", 0)
+        entry = self._results.get(key)
+        if entry is not None:
+            self._results.move_to_end(key)
+            self.stats.memory_hits += 1
+            return entry
+        if self.root is not None:
+            target = self.root / "links" / f"{strict_digest}.{relaxed_digest}.json"
+            if target.exists():
+                import json
+
+                loaded = json.loads(target.read_text())
+                entry = {"witness": loaded["witness"]}
+                self._remember(key, entry)
+                self.stats.disk_hits += 1
+                return entry
+        self.stats.misses += 1
+        entry = compute_relaxation(
+            self.payload_of(strict_digest), self.payload_of(relaxed_digest)
+        )
+        self.stats.computed_links += 1
+        self._remember(key, entry)
+        if self.root is not None:
+            write_json(
+                self.root / "links" / f"{strict_digest}.{relaxed_digest}.json",
+                {
+                    "schema": LINK_SCHEMA,
+                    "strict": strict_digest,
+                    "relaxed": relaxed_digest,
+                    **entry,
+                },
+            )
+        return entry

@@ -68,7 +68,12 @@ def write_json(path: str | Path, value, indent: int | None = 2) -> Path:
     return target
 
 
-def result_digest(value) -> str:
-    """A short stable fingerprint of a result payload (for trajectories)."""
+def result_digest(value, length: int = 16) -> str:
+    """A stable fingerprint of a result payload.
+
+    The default 16 hex chars suffice for trajectory fingerprints; callers
+    that treat digest equality as *identity* (the content-addressed
+    problem store) pass a larger ``length`` — up to the full sha256.
+    """
     encoded = canonical_dumps(value).encode("utf-8")
-    return hashlib.sha256(encoded).hexdigest()[:16]
+    return hashlib.sha256(encoded).hexdigest()[:length]

@@ -16,6 +16,11 @@ oracle                  cross-checked implementations
                         and digest agreement (:mod:`repro.utils.serialization`)
 ``views``               Supported LOCAL view collection vs an independent
                         BFS reimplementation (:mod:`repro.local.views`)
+``explore``             store-memoized canonical RE expansion
+                        (:mod:`repro.roundelim.explore`) vs direct kernel
+                        and reference operator calls, including digest
+                        invariance under renaming and budget-exhaustion
+                        parity
 ======================  ====================================================
 
 Each oracle generates its own random cases (JSON-able dicts, see
@@ -439,6 +444,97 @@ class ViewsOracle(Oracle):
 
 
 # ---------------------------------------------------------------------------
+# explore: store-memoized canonical expansion vs direct operator calls
+
+
+class ExploreOracle(Oracle):
+    name = "explore"
+    description = (
+        "store-memoized canonical RE expansion vs direct kernel/reference calls"
+    )
+
+    def generate(self, rng: random.Random) -> dict:
+        params = random_problem_params(rng)
+        params["op"] = rng.choice(tuple(sorted(_ROUNDELIM_OPS)))
+        params["budget"] = rng.choice((200, 2_000, ROUNDELIM_BUDGET))
+        return params
+
+    def check(self, params: dict) -> str | None:
+        from repro.formalism.normalize import normal_form
+        from repro.roundelim.explore import ProblemStore, STATUS_OK
+
+        problem = build_problem(params)
+        op, budget = params["op"], params["budget"]
+        store = ProblemStore(capacity=8)
+        form = store.intern(problem)
+
+        # Digest invariance: a deterministic re-spelling of the alphabet
+        # must land on the same content address.
+        renamed = problem.rename(
+            {label: f"R{index}" for index, label in enumerate(sorted(problem.alphabet))}
+        )
+        if normal_form(renamed).digest != form.digest:
+            return "canonical digest changes under a label renaming"
+
+        cold = store.apply(form.digest, op, budget)
+        warm = store.apply(form.digest, op, budget)
+        if warm != cold:
+            return "memoized result differs from the freshly computed one"
+        if store.stats.memory_hits == 0:
+            return "second store lookup bypassed the memory tier"
+
+        direct: dict[str, dict] = {}
+        for engine in operators.ENGINES:
+            try:
+                result = _ROUNDELIM_OPS[op](problem, budget=budget, engine=engine)
+            except SolverLimitError:
+                direct[engine] = {"status": "budget_exhausted", "payload": None}
+                continue
+            direct[engine] = {
+                "status": STATUS_OK,
+                "payload": normal_form(result).payload,
+            }
+        if direct["kernel"]["status"] != direct["reference"]["status"]:
+            return (
+                f"kernel and reference disagree on budget exhaustion at "
+                f"budget {budget} on {op}"
+            )
+        if cold["status"] != direct["kernel"]["status"]:
+            return (
+                f"store outcome {cold['status']!r} disagrees with the direct "
+                f"calls ({direct['kernel']['status']!r}) at budget {budget}"
+            )
+        if cold["status"] != STATUS_OK:
+            return None  # consistent exhaustion everywhere
+        stored_payload = store.payload_of(cold["child"])
+        for engine in operators.ENGINES:
+            if canonical_dumps(direct[engine]["payload"]) != canonical_dumps(
+                stored_payload
+            ):
+                return (
+                    f"store-memoized canonical payload diverges from the "
+                    f"direct {engine} call on {op}"
+                )
+        return None
+
+    def shrink(self, params: dict) -> Iterator[dict]:
+        if params["budget"] < ROUNDELIM_BUDGET:
+            yield {**params, "budget": ROUNDELIM_BUDGET}
+        for op in ("R_bar", "R"):
+            if params["op"] not in (op, "R"):
+                yield {**params, "op": op}
+        for side in ("white", "black"):
+            if len(params[side]) > 1:
+                for index in range(len(params[side])):
+                    configs = [
+                        config
+                        for position, config in enumerate(params[side])
+                        if position != index
+                    ]
+                    yield {**params, side: configs}
+
+
+# ---------------------------------------------------------------------------
 # Registry
 
 
@@ -450,6 +546,7 @@ ORACLES: dict[str, Oracle] = {
         SolverOracle(),
         SerializationOracle(),
         ViewsOracle(),
+        ExploreOracle(),
     )
 }
 

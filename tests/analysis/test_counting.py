@@ -1,0 +1,179 @@
+"""Direct unit tests for the §4.2 counting certificates
+(:mod:`repro.analysis.counting`) — previously exercised only indirectly
+through the extraction pipelines."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.counting import (
+    MatchingCountingCertificate,
+    classify_matching_nodes,
+    contradiction_region,
+    count_label_edges,
+    matching_counting_certificate,
+)
+from repro.utils import CertificateError
+
+
+def biregular_colored(delta: int, n_half: int) -> nx.Graph:
+    """A (Δ,Δ)-biregular 2-colored multigraph stand-in: a complete
+    bipartite block repeated — easiest exact construction is
+    K_{Δ,Δ} components, n_half/Δ of them (n_half divisible by Δ)."""
+    assert n_half % delta == 0
+    graph = nx.Graph()
+    for block in range(n_half // delta):
+        whites = [f"w{block}.{i}" for i in range(delta)]
+        blacks = [f"b{block}.{i}" for i in range(delta)]
+        for node in whites:
+            graph.add_node(node, color="white")
+        for node in blacks:
+            graph.add_node(node, color="black")
+        for white in whites:
+            for black in blacks:
+                graph.add_edge(white, black)
+    return graph
+
+
+def uniform_assignment(graph: nx.Graph, label_set: frozenset) -> dict:
+    return {frozenset(edge): label_set for edge in graph.edges}
+
+
+class TestCountLabelEdges:
+    def test_counts_membership_not_equality(self):
+        assignment = {
+            frozenset(("a", "b")): frozenset({"M", "O"}),
+            frozenset(("c", "d")): frozenset({"O"}),
+            frozenset(("e", "f")): frozenset({"M"}),
+        }
+        assert count_label_edges(assignment, "M") == 2
+        assert count_label_edges(assignment, "O") == 2
+        assert count_label_edges(assignment, "P") == 0
+
+    def test_empty_assignment(self):
+        assert count_label_edges({}, "M") == 0
+
+
+class TestCertificate:
+    def test_empty_graph_certificate(self):
+        """The degenerate 2n = 0 case: all counts and bounds are zero and
+        every lemma holds vacuously."""
+        certificate = matching_counting_certificate(
+            nx.Graph(), {}, delta=10, delta_prime=2, y=1
+        )
+        assert certificate.n_half == 0
+        assert certificate.m_edges == certificate.p_edges == 0
+        assert certificate.lemma_47_holds
+        assert certificate.lemma_48_holds
+        assert certificate.lemma_49_holds
+        assert not certificate.bounds_contradict
+
+    def test_single_node_graph_rejected(self):
+        graph = nx.Graph()
+        graph.add_node("only", color="white")
+        with pytest.raises(CertificateError):
+            matching_counting_certificate(graph, {}, delta=3, delta_prime=1, y=1)
+
+    def test_missing_edge_assignment_rejected(self):
+        graph = biregular_colored(2, 2)
+        with pytest.raises(CertificateError):
+            matching_counting_certificate(graph, {}, delta=2, delta_prime=1, y=1)
+
+    def test_counts_on_a_biregular_graph(self):
+        graph = biregular_colored(2, 2)  # one K_{2,2}: 4 nodes, 4 edges
+        assignment = uniform_assignment(graph, frozenset({"M", "P"}))
+        certificate = matching_counting_certificate(
+            graph, assignment, delta=2, delta_prime=1, y=1
+        )
+        assert certificate.n_half == 2
+        assert certificate.m_edges == 4
+        assert certificate.p_edges == 4
+        assert certificate.lemma_47_bound == 2  # n·y
+        assert certificate.lemma_49_bound == 0  # n(Δ′−1)
+        assert not certificate.lemma_47_holds
+        assert not certificate.lemma_49_holds
+
+    def test_lemma_48_lower_bound_direction(self):
+        graph = biregular_colored(3, 3)
+        assignment = uniform_assignment(graph, frozenset({"O"}))
+        certificate = matching_counting_certificate(
+            graph, assignment, delta=3, delta_prime=1, y=1
+        )
+        # P-edges = 0; bound n((Δ−Δ′)/2 − y) = 3·0 = 0 → holds at equality.
+        assert certificate.lemma_48_bound == 0
+        assert certificate.lemma_48_holds
+
+    def test_bounds_contradict_matches_closed_form(self):
+        for delta, delta_prime, y in (
+            (10, 2, 1),
+            (5, 1, 1),
+            (4, 2, 1),
+            (50, 10, 1),
+            (3, 1, 1),
+        ):
+            certificate = MatchingCountingCertificate(
+                n_half=7,
+                delta=delta,
+                delta_prime=delta_prime,
+                y=y,
+                m_edges=0,
+                p_edges=0,
+                lemma_47_bound=7 * y,
+                lemma_48_bound=7 * ((delta - delta_prime) / 2 - y),
+                lemma_49_bound=7 * (delta_prime - 1),
+            )
+            assert certificate.bounds_contradict == contradiction_region(
+                delta, delta_prime, y
+            )
+
+
+class TestContradictionRegion:
+    def test_paper_regime_delta_5x(self):
+        # The paper's c = 5 instantiation: Δ = 5Δ′, y = 1 is inside the
+        # contradiction region for every Δ′ ≥ 1.
+        for delta_prime in (1, 2, 5, 10):
+            assert contradiction_region(5 * delta_prime, delta_prime, 1)
+
+    def test_outside_the_regime(self):
+        assert not contradiction_region(3, 1, 1)
+        assert not contradiction_region(4, 2, 1)
+
+
+class TestClassifyMatchingNodes:
+    def test_empty_graph_yields_empty_split(self):
+        m_nodes, p_nodes = classify_matching_nodes(nx.Graph(), {}, 4, 2)
+        assert m_nodes == set() and p_nodes == set()
+
+    def test_single_white_node_without_edges_is_a_p_node_at_zero_threshold(self):
+        graph = nx.Graph()
+        graph.add_node("w", color="white")
+        # threshold (Δ−Δ′)/2 = 1 > 0 M-edges → P-node.
+        m_nodes, p_nodes = classify_matching_nodes(graph, {}, delta=4, delta_prime=2)
+        assert m_nodes == set() and p_nodes == {"w"}
+        # threshold 0 ≤ 0 M-edges → M-node.
+        m_nodes, p_nodes = classify_matching_nodes(graph, {}, delta=2, delta_prime=2)
+        assert m_nodes == {"w"} and p_nodes == set()
+
+    def test_black_nodes_are_ignored(self):
+        graph = nx.Graph()
+        graph.add_node("b", color="black")
+        m_nodes, p_nodes = classify_matching_nodes(graph, {}, 4, 2)
+        assert m_nodes == set() and p_nodes == set()
+
+    def test_threshold_split_on_a_star(self):
+        graph = nx.Graph()
+        graph.add_node("w", color="white")
+        for index in range(4):
+            graph.add_node(f"b{index}", color="black")
+            graph.add_edge("w", f"b{index}")
+        assignment = {
+            frozenset(("w", "b0")): frozenset({"M"}),
+            frozenset(("w", "b1")): frozenset({"M"}),
+            frozenset(("w", "b2")): frozenset({"O"}),
+            frozenset(("w", "b3")): frozenset({"P"}),
+        }
+        # threshold (4−2)/2 = 1 ≤ 2 M-edges → M-node.
+        m_nodes, _ = classify_matching_nodes(graph, assignment, 4, 2)
+        assert m_nodes == {"w"}
+        # threshold (8−2)/2 = 3 > 2 → P-node.
+        _, p_nodes = classify_matching_nodes(graph, assignment, 8, 2)
+        assert p_nodes == {"w"}

@@ -1,0 +1,228 @@
+"""Direct unit tests for the executable Lemma 6.6
+(:mod:`repro.analysis.ruling_peeling`) — node typing, the |S′| ≥ |S|/4
+counting certificate, the peeling transformation and the ¯Π checker,
+including empty-graph and single-node edge cases."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.ruling_peeling import (
+    BarPiChecker,
+    classify_types,
+    peel_once,
+    type1_fraction_certificate,
+)
+from repro.formalism.labels import color_label
+from repro.problems.ruling_sets import pointer_label, unpointed_label
+from repro.utils import CertificateError
+
+P2 = pointer_label(2)
+U2 = unpointed_label(2)
+C1 = color_label([1])
+
+
+def star(leaves: int) -> nx.Graph:
+    graph = nx.Graph()
+    graph.add_node("center")
+    for index in range(leaves):
+        graph.add_node(f"leaf{index}")
+        graph.add_edge("center", f"leaf{index}")
+    return graph
+
+
+def star_assignment(graph: nx.Graph, center_sets: dict, leaf_set) -> dict:
+    """Half-edge assignment: the center's per-edge sets are given, every
+    leaf sees ``leaf_set`` on its side of each edge."""
+    assignment = {}
+    for neighbor in graph.neighbors("center"):
+        assignment[("center", neighbor)] = center_sets[neighbor]
+        assignment[(neighbor, "center")] = leaf_set
+    return assignment
+
+
+class TestClassifyTypes:
+    def test_empty_graph_and_empty_s(self):
+        type1, type2, type3, untouched = classify_types(
+            nx.Graph(), set(), {}, delta=6, delta_prime=2, beta=2
+        )
+        assert type1 == type2 == type3 == untouched == set()
+
+    def test_single_isolated_node_is_untouched(self):
+        graph = nx.Graph()
+        graph.add_node("solo")
+        type1, type2, type3, untouched = classify_types(
+            graph, {"solo"}, {}, delta=6, delta_prime=2, beta=2
+        )
+        # No incident edges → no P_β/U_β anywhere → untouched.
+        assert untouched == {"solo"}
+        assert type1 == type2 == type3 == set()
+
+    def test_type3_some_set_lacks_u_beta(self):
+        graph = star(2)
+        assignment = star_assignment(
+            graph,
+            {"leaf0": frozenset({P2, U2}), "leaf1": frozenset({C1})},
+            frozenset({C1}),
+        )
+        type1, type2, type3, untouched = classify_types(
+            graph, {"center"}, assignment, delta=6, delta_prime=2, beta=2
+        )
+        assert type3 == {"center"}
+        assert type1 == type2 == untouched == set()
+
+    def test_type1_all_u_and_many_p(self):
+        graph = star(4)
+        sets = {f"leaf{i}": frozenset({P2, U2}) for i in range(4)}
+        assignment = star_assignment(graph, sets, frozenset({C1}))
+        type1, type2, _type3, _untouched = classify_types(
+            graph, {"center"}, assignment, delta=6, delta_prime=2, beta=2
+        )
+        # 4 P-edges ≥ Δ−Δ′ = 4 → type 1.
+        assert type1 == {"center"} and type2 == set()
+
+    def test_type2_all_u_few_p(self):
+        graph = star(4)
+        sets = {"leaf0": frozenset({P2, U2})}
+        sets.update({f"leaf{i}": frozenset({U2, C1}) for i in (1, 2, 3)})
+        assignment = star_assignment(graph, sets, frozenset({C1}))
+        type1, type2, _type3, _untouched = classify_types(
+            graph, {"center"}, assignment, delta=6, delta_prime=2, beta=2
+        )
+        assert type2 == {"center"} and type1 == set()
+
+
+class TestType1FractionCertificate:
+    def test_requires_delta_at_least_3_delta_prime(self):
+        with pytest.raises(CertificateError):
+            type1_fraction_certificate(10, 1, delta=5, delta_prime=2)
+
+    def test_empty_s_holds_trivially(self):
+        assert type1_fraction_certificate(0, 0, delta=6, delta_prime=2)
+
+    def test_bound_accepted_and_violated(self):
+        # Δ/(2(Δ−Δ′)) = 6/8 = 3/4: 3 of 4 pass, 4 of 4 fail.
+        assert type1_fraction_certificate(4, 3, delta=6, delta_prime=2)
+        assert not type1_fraction_certificate(4, 4, delta=6, delta_prime=2)
+
+
+class TestPeelOnce:
+    def test_beta_zero_rejected(self):
+        with pytest.raises(CertificateError):
+            peel_once(nx.Graph(), set(), {}, delta=6, delta_prime=2, k=1, beta=0)
+
+    def test_empty_instance_peels_to_empty(self):
+        result = peel_once(
+            nx.Graph(), set(), {}, delta=6, delta_prime=2, k=1, beta=2
+        )
+        assert result.s_prime == set()
+        assert result.assignment == {}
+        assert result.fraction_ok
+
+    def test_single_node_survives_untouched(self):
+        graph = nx.Graph()
+        graph.add_node("solo")
+        result = peel_once(
+            graph, {"solo"}, {}, delta=6, delta_prime=2, k=1, beta=2
+        )
+        assert result.s_prime == {"solo"}
+        assert result.type1 == set()
+
+    def test_type3_drops_deepest_pointers(self):
+        graph = star(2)
+        assignment = star_assignment(
+            graph,
+            {"leaf0": frozenset({P2, U2, C1}), "leaf1": frozenset({C1})},
+            frozenset({C1}),
+        )
+        result = peel_once(
+            graph, {"center"}, assignment, delta=6, delta_prime=2, k=1, beta=2
+        )
+        assert result.s_prime == {"center"}
+        assert result.assignment[("center", "leaf0")] == frozenset({C1})
+        assert result.assignment[("center", "leaf1")] == frozenset({C1})
+
+    def test_type1_removed_from_s(self):
+        graph = star(4)
+        sets = {f"leaf{i}": frozenset({P2, U2}) for i in range(4)}
+        assignment = star_assignment(graph, sets, frozenset({C1}))
+        result = peel_once(
+            graph, {"center"}, assignment, delta=6, delta_prime=2, k=1, beta=2
+        )
+        assert result.type1 == {"center"}
+        assert result.s_prime == set()
+
+    def test_type2_shifts_palette_and_adds_x(self):
+        graph = star(4)
+        sets = {"leaf0": frozenset({P2, U2})}
+        sets.update({f"leaf{i}": frozenset({U2, C1}) for i in (1, 2, 3)})
+        assignment = star_assignment(graph, sets, frozenset({C1}))
+        result = peel_once(
+            graph, {"center"}, assignment, delta=6, delta_prime=2, k=1, beta=2
+        )
+        shifted = color_label([2])  # {1} shifted by k = 1
+        assert result.s_prime == {"center"}
+        # The P-edge receives the union of the shifted U-edge sets + X.
+        assert result.assignment[("center", "leaf0")] == frozenset({shifted, "X"})
+        # U-edges shift their own color labels and gain X; U_2 is gone.
+        for leaf in ("leaf1", "leaf2", "leaf3"):
+            assert result.assignment[("center", leaf)] == frozenset({shifted, "X"})
+
+
+class TestBarPiChecker:
+    def test_empty_graph_checks_vacuously(self):
+        checker = BarPiChecker(delta_prime=2, x=0, k=1, beta=1)
+        assert checker.check(nx.Graph(), set(), {})
+
+    def test_single_node_no_edges(self):
+        graph = nx.Graph()
+        graph.add_node("solo")
+        checker = BarPiChecker(delta_prime=2, x=0, k=1, beta=1)
+        # No incident label-sets: no y ∈ {0..x} gives a feasible arity,
+        # so the node condition fails — an S-node must carry labels.
+        assert not checker.check(graph, {"solo"}, {})
+        # Nodes outside S are unconstrained.
+        assert checker.check(graph, set(), {})
+
+    def test_node_condition_accepts_a_real_family_solution(self):
+        graph = star(2)
+        pointer = frozenset({pointer_label(1)})
+        unpointed = frozenset({unpointed_label(1)})
+        assignment = star_assignment(
+            graph, {"leaf0": pointer, "leaf1": unpointed}, unpointed
+        )
+        checker = BarPiChecker(delta_prime=2, x=0, k=1, beta=1)
+        # P_1 U_1 is a white configuration of Π_2(1,1) → node ok.
+        assert checker.check(graph, {"center"}, assignment)
+
+    def test_edge_condition_follows_the_pointer_rule(self):
+        checker = BarPiChecker(delta_prime=2, x=0, k=1, beta=1)
+        pointer = frozenset({pointer_label(1)})
+        unpointed = frozenset({unpointed_label(1)})
+        # Definition 6.2's pointer rule: P_i U_j needs j < i, so both
+        # P_1 P_1 and P_1 U_1 are forbidden; U_i U_j is always allowed
+        # and P_i is compatible with X and every ℓ(C).
+        assert not checker.edge_ok(pointer, pointer)
+        assert not checker.edge_ok(pointer, unpointed)
+        assert checker.edge_ok(unpointed, unpointed)
+        assert checker.edge_ok(pointer, frozenset({"X"}))
+        assert checker.edge_ok(pointer, frozenset({C1}))
+
+    def test_edge_condition_rejected_through_check(self):
+        """A rotating P_1/U_1 labeling of a triangle satisfies every node
+        (each sees P_1 U_1, a white configuration) but pairs P_1 against
+        U_1 across each edge — so ``check`` must reject on the edge
+        condition specifically."""
+        graph = nx.Graph()
+        graph.add_edges_from([("u", "v"), ("v", "w"), ("w", "u")])
+        pointer = frozenset({pointer_label(1)})
+        unpointed = frozenset({unpointed_label(1)})
+        assignment = {
+            ("u", "v"): pointer, ("u", "w"): unpointed,
+            ("v", "w"): pointer, ("v", "u"): unpointed,
+            ("w", "u"): pointer, ("w", "v"): unpointed,
+        }
+        checker = BarPiChecker(delta_prime=2, x=0, k=1, beta=1)
+        for node in ("u", "v", "w"):
+            sets = [assignment[(node, nb)] for nb in graph.neighbors(node)]
+            assert checker.node_ok(sets)
+        assert not checker.check(graph, {"u", "v", "w"}, assignment)

@@ -1,0 +1,76 @@
+"""The ``exploration`` suite: scenario validity, twin equality and the
+acceptance-criterion record shape.
+
+The ``explore-matching-d3`` scenario must rediscover a verified
+Corollary 4.6 chain and classify the family fixed point; its ``-jobs4``
+and ``-reference-engine`` twins must produce byte-identical records —
+the suite-level form of the explorer's worker- and engine-independence
+contracts (CI repeats both comparisons on the full suite payload).
+"""
+
+from repro.experiments import execute_scenario, get_scenario, get_suite
+
+
+class TestExplorationScenarios:
+    def test_matching_d3_meets_the_acceptance_criterion(self):
+        result = execute_scenario(get_scenario("exploration", "explore-matching-d3"))
+        assert result.ok
+        (record,) = result.records
+        assert record["valid"] is True
+        assert record["best_sequence_length"] >= 2
+        assert record["verified_sequences"] >= 1
+        assert record["relaxation_fixed_points"] >= 1
+        assert record["visited"] == 6  # 3 roots + 3 distinct RE children
+
+    def test_jobs4_twin_records_identical(self):
+        base = execute_scenario(get_scenario("exploration", "explore-matching-d3"))
+        twin = execute_scenario(
+            get_scenario("exploration", "explore-matching-d3-jobs4")
+        )
+        assert base.records == twin.records
+
+    def test_reference_engine_twin_records_identical(self):
+        base = execute_scenario(get_scenario("exploration", "explore-matching-d3"))
+        twin = execute_scenario(
+            get_scenario("exploration", "explore-matching-d3-reference-engine")
+        )
+        assert base.records == twin.records
+
+    def test_arbdefective_scenario_finds_the_exact_fixed_point(self):
+        result = execute_scenario(
+            get_scenario("exploration", "explore-arbdefective-fixed-point")
+        )
+        (record,) = result.records
+        assert record["valid"] is True
+        assert record["exact_fixed_points"] == 1
+        assert record["visited"] == 1  # RE(Π) dedups onto Π itself
+
+    def test_ruling_scenario_is_consistent(self):
+        result = execute_scenario(get_scenario("exploration", "explore-ruling-d3"))
+        (record,) = result.records
+        assert record["valid"] is True
+        assert record["visited"] == 2
+        assert record["budget_exhausted_ops"] == 0
+
+    def test_smoke_scenario_is_fast_and_valid(self):
+        result = execute_scenario(get_scenario("smoke", "smoke-exploration"))
+        (record,) = result.records
+        assert record["valid"] is True
+        assert record["best_sequence_length"] >= 2
+        assert result.wall_seconds < 30
+
+    def test_suite_registered_with_deterministic_seeds(self):
+        names = [scenario.name for scenario in get_suite("exploration")]
+        assert "explore-matching-d3" in names
+        assert "explore-matching-d3-jobs4" in names
+        assert "explore-matching-d3-reference-engine" in names
+        assert len(names) == len(set(names))
+
+    def test_records_are_engine_and_jobs_free(self):
+        """The record dict must not leak execution details — the twin
+        comparisons above rely on it."""
+        result = execute_scenario(get_scenario("exploration", "explore-matching-d3"))
+        (record,) = result.records
+        assert "jobs" not in record
+        assert "re_engine" not in record
+        assert "engine" not in record

@@ -1,0 +1,209 @@
+"""Property tests for the canonical normal form.
+
+The contract the exploration engine rests on: the canonical form (and
+its digest) is invariant under label renaming and constraint-line
+reordering, complete (non-isomorphic problems do not collide), and
+idempotent.  Random problems come from the differential-verification
+generators, so the distributions match what the fuzzer exercises —
+including unused-alphabet-label paths.
+"""
+
+import random
+
+import pytest
+
+from repro.formalism.configurations import Configuration
+from repro.formalism.constraints import Constraint
+from repro.formalism.normalize import (
+    DIGEST_LENGTH,
+    NORMAL_FORM_SCHEMA,
+    canonical_digest,
+    canonical_label,
+    normal_form,
+    problem_from_payload,
+)
+from repro.formalism.problems import Problem
+from repro.problems import (
+    maximal_matching_problem,
+    pi_arbdefective,
+    pi_matching,
+    pi_ruling,
+)
+from repro.utils import SolverLimitError
+from repro.utils.serialization import canonical_dumps
+from repro.verification.generators import build_problem, random_problem_params
+
+
+def random_problems(tag: str, count: int):
+    for index in range(count):
+        rng = random.Random(f"{tag}:{index}")
+        yield build_problem(random_problem_params(rng)), rng
+
+
+def shuffled_renaming(problem: Problem, rng: random.Random) -> Problem:
+    """A random bijective re-spelling of the alphabet (fresh names)."""
+    labels = sorted(problem.alphabet)
+    images = [f"fresh{value}" for value in rng.sample(range(1000), len(labels))]
+    return problem.rename(dict(zip(labels, images)))
+
+
+def reordered_constraints(problem: Problem, rng: random.Random) -> Problem:
+    """The same problem with its configuration lines rebuilt in a random
+    order (Constraint is a set, so this exercises construction-order
+    independence end to end)."""
+
+    def rebuild(constraint: Constraint) -> Constraint:
+        configs = [Configuration(config.labels) for config in constraint]
+        rng.shuffle(configs)
+        return Constraint(configs)
+
+    return Problem(
+        alphabet=frozenset(sorted(problem.alphabet, key=lambda lab: rng.random())),
+        white=rebuild(problem.white),
+        black=rebuild(problem.black),
+        name=problem.name,
+    )
+
+
+class TestRenamingInvariance:
+    def test_random_label_permutations_share_digest_and_problem(self):
+        for problem, rng in random_problems("perm", 150):
+            renamed = shuffled_renaming(problem, rng)
+            original = normal_form(problem)
+            image = normal_form(renamed)
+            assert original.digest == image.digest, problem.describe()
+            assert original.problem.same_constraints(image.problem)
+            assert canonical_dumps(original.payload) == canonical_dumps(image.payload)
+
+    def test_constraint_reordering_shares_digest(self):
+        for problem, rng in random_problems("reorder", 100):
+            reordered = reordered_constraints(problem, rng)
+            assert canonical_digest(problem) == canonical_digest(reordered)
+
+    def test_paper_families_invariant_under_renaming(self):
+        rng = random.Random("families")
+        for problem in (
+            pi_matching(3, 0, 1),
+            pi_matching(4, 1, 1),
+            maximal_matching_problem(3),
+            pi_arbdefective(3, 2),
+            pi_ruling(3, 1, 2),
+        ):
+            renamed = shuffled_renaming(problem, rng)
+            assert canonical_digest(problem) == canonical_digest(renamed)
+
+    def test_mapping_witnesses_the_canonical_form(self):
+        for problem, _rng in random_problems("witness", 40):
+            form = normal_form(problem)
+            assert form.problem.same_constraints(problem.rename(form.mapping))
+
+
+class TestCompleteness:
+    def test_non_isomorphic_corpus_does_not_collide(self):
+        """Digest equality must coincide with isomorphism on a seeded
+        corpus of random problem pairs."""
+        problems = [
+            build_problem(random_problem_params(random.Random(f"corpus:{index}")))
+            for index in range(60)
+        ]
+        digests = [canonical_digest(problem) for problem in problems]
+        for i in range(len(problems)):
+            for j in range(i + 1, len(problems)):
+                collide = digests[i] == digests[j]
+                isomorphic = problems[i].is_isomorphic_to(problems[j])
+                assert collide == isomorphic, (
+                    problems[i].describe(),
+                    problems[j].describe(),
+                )
+
+    def test_unused_alphabet_labels_are_part_of_identity(self):
+        base = build_problem(
+            {"alphabet": ["A", "B"], "white": [["A"]], "black": [["A", "A"]]}
+        )
+        padded = Problem(
+            alphabet=base.alphabet | {"C"},
+            white=base.white,
+            black=base.black,
+            name=base.name,
+        )
+        assert canonical_digest(base) != canonical_digest(padded)
+        # ...but *which* unused label is spelled how does not matter.
+        repadded = Problem(
+            alphabet=base.alphabet | {"ZZZ"},
+            white=base.white,
+            black=base.black,
+            name=base.name,
+        )
+        assert canonical_digest(padded) == canonical_digest(repadded)
+
+    def test_sides_are_not_interchangeable(self):
+        problem = build_problem(
+            {"alphabet": ["A", "B"], "white": [["A", "B"]], "black": [["A", "A"]]}
+        )
+        assert canonical_digest(problem) != canonical_digest(problem.swap_sides())
+
+
+class TestNormalFormShape:
+    def test_idempotent(self):
+        for problem, _rng in random_problems("idem", 50):
+            form = normal_form(problem)
+            again = normal_form(form.problem)
+            assert form.digest == again.digest
+            assert form.problem.same_constraints(again.problem)
+
+    def test_payload_roundtrips_through_problem_from_payload(self):
+        for problem, _rng in random_problems("roundtrip", 50):
+            form = normal_form(problem)
+            rebuilt = problem_from_payload(form.payload)
+            assert rebuilt.same_constraints(form.problem)
+            assert rebuilt.alphabet == form.problem.alphabet
+            assert normal_form(rebuilt).digest == form.digest
+
+    def test_payload_schema_and_digest_length(self):
+        form = normal_form(pi_matching(3, 0, 1))
+        assert form.payload["schema"] == NORMAL_FORM_SCHEMA
+        assert len(form.digest) == DIGEST_LENGTH
+        assert form.payload["alphabet_size"] == 5
+        assert form.payload["white_arity"] == 3
+        assert form.payload["black_arity"] == 3
+
+    def test_canonical_labels_enumerate_the_alphabet(self):
+        form = normal_form(maximal_matching_problem(3))
+        expected = {canonical_label(index) for index in range(3)}
+        assert form.problem.alphabet == expected
+
+    def test_empty_constraint_sides_normalize(self):
+        problem = Problem(
+            alphabet=frozenset({"A"}),
+            white=Constraint([Configuration(["A"])]),
+            black=Constraint([]),
+            name="half-empty",
+        )
+        form = normal_form(problem)
+        assert form.payload["black"] == []
+        assert canonical_digest(problem) == form.digest
+
+    def test_pathologically_symmetric_problem_raises(self):
+        """A fully label-transitive problem with a huge orbit must refuse
+        (deterministically) rather than stall the minimizer."""
+        labels = [f"s{index}" for index in range(9)]
+        problem = Problem(
+            alphabet=frozenset(labels),
+            white=Constraint([Configuration([label]) for label in labels]),
+            black=Constraint([Configuration([label]) for label in labels]),
+            name="symmetric",
+        )
+        with pytest.raises(SolverLimitError):
+            normal_form(problem)
+
+    def test_small_symmetric_orbits_are_fine(self):
+        labels = ["p", "q", "r"]
+        problem = Problem(
+            alphabet=frozenset(labels),
+            white=Constraint([Configuration([label]) for label in labels]),
+            black=Constraint([Configuration([label]) for label in labels]),
+            name="tiny-symmetric",
+        )
+        form = normal_form(problem)
+        rotated = problem.rename({"p": "q", "q": "r", "r": "p"})
+        assert canonical_digest(rotated) == form.digest

@@ -1,0 +1,114 @@
+"""The ``explore`` differential oracle: green on the real stack, and it
+catches planted bugs in each layer it cross-checks (memoized expansion,
+canonical digesting, budget parity)."""
+
+import random
+
+import pytest
+
+from repro.verification.corpus import DEFAULT_CORPUS_DIR, corpus_files, load_entry
+from repro.verification.oracles import ORACLES, run_check
+
+
+def cases(count: int = 10):
+    oracle = ORACLES["explore"]
+    for index in range(count):
+        yield oracle.generate(random.Random(f"explore-clean:{index}"))
+
+
+def _first_failure():
+    oracle = ORACLES["explore"]
+    for index, params in enumerate(cases(12)):
+        detail = run_check(oracle, params)
+        if detail is not None:
+            return index, detail
+    return None
+
+
+class TestGreenPath:
+    def test_green_on_real_implementations(self):
+        oracle = ORACLES["explore"]
+        for params in cases(8):
+            assert oracle.check(params) is None, params
+
+    def test_case_shape_is_replayable(self):
+        for params in cases(5):
+            assert set(params) >= {"alphabet", "white", "black", "op", "budget"}
+            assert params["op"] in ("R", "R_bar", "RE")
+
+    def test_shrink_candidates_stay_buildable(self):
+        from repro.verification.generators import build_problem
+
+        oracle = ORACLES["explore"]
+        for params in cases(5):
+            for candidate in oracle.shrink(params):
+                build_problem(candidate)  # must not raise
+
+
+class TestSensitivity:
+    def test_catches_a_corrupted_store_step(self, monkeypatch):
+        """A store whose worker mislabels budget exhaustion must be caught
+        as a status disagreement with the direct calls."""
+        from repro.roundelim.explore import store as store_module
+
+        def lying(payload, op, budget, engine):
+            return {"status": "budget_exhausted", "child": None,
+                    "child_payload": None}
+
+        monkeypatch.setattr(store_module, "compute_step", lying)
+        failure = _first_failure()
+        assert failure is not None
+        assert "disagrees with the direct calls" in failure[1]
+
+    def test_catches_a_digest_instability(self, monkeypatch):
+        """A normal form that hashes the *input spelling* (here: the id of
+        the alphabet) breaks renaming invariance and must be caught."""
+        from repro.formalism import normalize as normalize_module
+
+        real = normalize_module.normal_form
+
+        def spelled(problem, name=None):
+            form = real(problem, name=name)
+            tainted = dict(form.payload)
+            tainted["spelling"] = sorted(problem.alphabet)
+            return normalize_module.NormalForm(
+                payload=tainted,
+                digest=normalize_module.result_digest(tainted, length=32),
+                problem=form.problem,
+                mapping=form.mapping,
+            )
+
+        monkeypatch.setattr(normalize_module, "normal_form", spelled)
+        failure = _first_failure()
+        assert failure is not None
+        assert "digest" in failure[1] or "payload" in failure[1]
+
+    def test_catches_an_lru_that_never_hits(self, monkeypatch):
+        from repro.roundelim.explore.store import ProblemStore
+
+        real = ProblemStore.lookup
+
+        def amnesiac(self, digest, op, budget):
+            real(self, digest, op, budget)
+            self.stats.memory_hits = 0
+            return None
+
+        monkeypatch.setattr(ProblemStore, "lookup", amnesiac)
+        failure = _first_failure()
+        assert failure is not None
+        assert "memory tier" in failure[1]
+
+
+@pytest.mark.fuzz
+class TestCorpusEntries:
+    def test_committed_explore_entries_replay_green(self):
+        from repro.verification.corpus import replay_entry
+
+        entries = [
+            load_entry(path)
+            for path in corpus_files(DEFAULT_CORPUS_DIR)
+            if path.name.startswith("explore-")
+        ]
+        assert len(entries) >= 2, "seeded explore corpus entries are missing"
+        for entry in entries:
+            assert replay_entry(entry) is None, entry["case_id"]

@@ -19,8 +19,13 @@ def test_200_cases_zero_discrepancies_and_jobs_determinism():
     assert serial["ok"] is True, serial["discrepancies"]
     assert serial_entries == []
     assert canonical_dumps(serial) == canonical_dumps(parallel)
-    # Every oracle family got its share of the 200 cases.
-    assert all(stats["cases"] == 40 for stats in serial["oracles"].values())
+    # Every oracle family got its (round-robin) share of the 200 cases.
+    floor = 200 // len(names)
+    assert all(
+        stats["cases"] in (floor, floor + 1)
+        for stats in serial["oracles"].values()
+    )
+    assert sum(stats["cases"] for stats in serial["oracles"].values()) == 200
 
 
 @pytest.mark.parametrize("seed", [1, 2, 3])

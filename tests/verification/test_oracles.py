@@ -30,9 +30,14 @@ def test_oracle_is_green_on_real_implementations(name):
 
 def test_registry_listing_and_resolution():
     assert available_oracles() == sorted(ORACLES)
-    assert {"roundelim", "engines", "solver", "serialization", "views"} == set(
-        ORACLES
-    )
+    assert {
+        "roundelim",
+        "engines",
+        "solver",
+        "serialization",
+        "views",
+        "explore",
+    } == set(ORACLES)
     assert resolve_oracle("solver") is ORACLES["solver"]
     with pytest.raises(InvalidParameterError):
         resolve_oracle("nope")
