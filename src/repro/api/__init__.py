@@ -35,6 +35,15 @@ from repro.api.engines import (
     register_engine,
     resolve_engine,
 )
+from repro.api.errors import (
+    AlgorithmMismatchError,
+    ApiError,
+    EngineMismatchError,
+    SpecError,
+    UnknownAlgorithmError,
+    UnknownEngineError,
+    error_code,
+)
 from repro.api.networks import family_network
 from repro.api.registry import (
     ALGORITHMS,
@@ -43,7 +52,12 @@ from repro.api.registry import (
     register_algorithm,
     resolve_algorithm,
 )
-from repro.api.types import MessagePassingProgram, ProblemSpec, SolveReport
+from repro.api.types import (
+    REPORT_SCHEMA,
+    MessagePassingProgram,
+    ProblemSpec,
+    SolveReport,
+)
 
 # Importing repro.algorithms triggers the self-registration of every
 # algorithm module; it must come after the registry import above and
@@ -51,21 +65,33 @@ from repro.api.types import MessagePassingProgram, ProblemSpec, SolveReport
 import repro.algorithms  # noqa: E402,F401  (imported for registration side effect)
 
 from repro.api.facade import FAMILY_CHECKERS, check, simulate, solve
+from repro.api.introspection import describe, list_algorithms, list_engines
 
 __all__ = [
     "ALGORITHMS",
     "Algorithm",
+    "AlgorithmMismatchError",
+    "ApiError",
     "DEFAULT_ENGINE",
     "ENGINES",
     "Engine",
+    "EngineMismatchError",
     "FAMILY_CHECKERS",
     "MessagePassingProgram",
     "ProblemSpec",
+    "REPORT_SCHEMA",
     "SolveReport",
+    "SpecError",
+    "UnknownAlgorithmError",
+    "UnknownEngineError",
     "available_algorithms",
     "available_engines",
     "check",
+    "describe",
+    "error_code",
     "family_network",
+    "list_algorithms",
+    "list_engines",
     "register_algorithm",
     "register_engine",
     "resolve_algorithm",

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 
+from repro.api.errors import UnknownEngineError
 from repro.api.types import MessagePassingProgram
 from repro.local.batched import run_batched
 from repro.local.network import Network
@@ -105,9 +106,7 @@ def resolve_engine(engine: "Engine | str") -> Engine:
     try:
         return ENGINES[engine]
     except KeyError:
-        raise InvalidParameterError(
-            f"unknown engine {engine!r}; registered: {available_engines()}"
-        ) from None
+        raise UnknownEngineError(engine, available_engines()) from None
 
 
 register_engine(_SimulatorEngine("object", run_synchronous))

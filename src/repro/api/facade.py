@@ -25,6 +25,7 @@ from collections.abc import Callable
 import networkx as nx
 
 from repro.api.engines import DEFAULT_ENGINE, Engine, resolve_engine
+from repro.api.errors import AlgorithmMismatchError, SpecError
 from repro.api.registry import (
     Algorithm,
     available_algorithms,
@@ -43,7 +44,6 @@ from repro.checkers import (
 from repro.local.measurement import EngineProbe, Measurement, timed
 from repro.local.network import Network
 from repro.local.simulator import RoundTrace, RunResult
-from repro.utils import InvalidParameterError
 
 
 def _check_matching(graph: nx.Graph, spec: ProblemSpec, solution) -> CheckResult:
@@ -134,7 +134,7 @@ def _family_check(spec: ProblemSpec, graph: nx.Graph, solution) -> CheckResult:
     try:
         checker = FAMILY_CHECKERS[spec.family]
     except KeyError:
-        raise InvalidParameterError(
+        raise SpecError(
             f"no validity checker registered for family {spec.family!r}; "
             f"checkable families: {sorted(FAMILY_CHECKERS)}"
         ) from None
@@ -162,7 +162,7 @@ def _resolve_network(
     seed: int,
 ) -> Network:
     if network is not None and graph is not None:
-        raise InvalidParameterError("pass either network= or graph=, not both")
+        raise SpecError("pass either network= or graph=, not both")
     if network is not None:
         return network
     if graph is not None:
@@ -187,11 +187,11 @@ def _resolve_pair(
         else resolve_algorithm(algorithm)
     )
     if not resolved.supports(spec.family):
-        raise InvalidParameterError(
-            f"algorithm {resolved.name!r} does not solve family "
-            f"{spec.family!r} (it solves: {list(resolved.families)}); "
-            f"algorithms for {spec.family!r}: "
-            f"{available_algorithms(spec.family)}"
+        raise AlgorithmMismatchError(
+            resolved.name,
+            spec.family,
+            solves=list(resolved.families),
+            alternatives=available_algorithms(spec.family),
         )
     return spec, resolved
 

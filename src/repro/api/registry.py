@@ -21,6 +21,7 @@ module must therefore never import them (the façade package's
 
 from __future__ import annotations
 
+from repro.api.errors import EngineMismatchError, UnknownAlgorithmError
 from repro.api.networks import family_network
 from repro.api.types import MessagePassingProgram, ProblemSpec
 from repro.local.network import Network
@@ -50,7 +51,7 @@ class Algorithm:
         self, network: Network, spec: ProblemSpec, options: dict
     ) -> MessagePassingProgram:
         """Compile into an engine-executable program (``kind="message"``)."""
-        raise InvalidParameterError(
+        raise EngineMismatchError(
             f"algorithm {self.name!r} is {self.kind!r}-kind and does not "
             f"compile to a message-passing program"
         )
@@ -65,7 +66,7 @@ class Algorithm:
         self, network: Network, spec: ProblemSpec, options: dict, seed: int
     ) -> tuple[object, int]:
         """Run directly, returning (solution, accounted rounds)."""
-        raise InvalidParameterError(
+        raise EngineMismatchError(
             f"algorithm {self.name!r} is {self.kind!r}-kind and has no "
             f"global-knowledge execution"
         )
@@ -118,6 +119,4 @@ def resolve_algorithm(name: str) -> Algorithm:
     try:
         return ALGORITHMS[name]
     except KeyError:
-        raise InvalidParameterError(
-            f"unknown algorithm {name!r}; registered: {available_algorithms()}"
-        ) from None
+        raise UnknownAlgorithmError(name, available_algorithms()) from None

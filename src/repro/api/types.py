@@ -20,6 +20,7 @@ import random
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro.api.errors import SpecError
 from repro.checkers import CheckResult
 from repro.formalism.problems import Problem
 from repro.local.network import Network
@@ -27,6 +28,12 @@ from repro.local.simulator import NodeAlgorithm, NodeContext
 from repro.problems.registry import build_problem, normalize_parameters, parse_spec
 from repro.utils import InvalidParameterError
 from repro.utils.serialization import canonical_dumps
+
+#: Schema tag stamped into every serialized :class:`SolveReport` record.
+#: Version the *payload*, not the class: consumers (the solve service's
+#: report cache, the differential oracles, archived BENCH files) must be
+#: able to reject records from a future incompatible shape.
+REPORT_SCHEMA = "repro.api/report-v1"
 
 
 @dataclass(frozen=True)
@@ -48,17 +55,23 @@ class ProblemSpec:
         if isinstance(problem, ProblemSpec):
             return problem
         if not isinstance(problem, str):
-            raise InvalidParameterError(
+            raise SpecError(
                 f"expected a problem spec string or ProblemSpec, "
                 f"got {type(problem).__name__}"
             )
-        family, parameters = parse_spec(problem)
+        try:
+            family, parameters = parse_spec(problem)
+        except InvalidParameterError as error:
+            raise SpecError(str(error)) from None
         return cls(family=family, params=tuple(sorted(parameters.items())))
 
     @classmethod
     def create(cls, family: str, **parameters: int) -> "ProblemSpec":
         """Build a spec from a family name and (possibly aliased) keywords."""
-        normalized = normalize_parameters(family, parameters)
+        try:
+            normalized = normalize_parameters(family, parameters)
+        except InvalidParameterError as error:
+            raise SpecError(str(error)) from None
         return cls(family=family, params=tuple(sorted(normalized.items())))
 
     @property
@@ -133,6 +146,7 @@ class SolveReport:
     def as_record(self) -> dict:
         """The deterministic JSON-ready dict (engine and wall clock excluded)."""
         return {
+            "schema": REPORT_SCHEMA,
             "problem": self.problem,
             "family": self.family,
             "algorithm": self.algorithm,
@@ -150,3 +164,58 @@ class SolveReport:
     def canonical_json(self) -> str:
         """Canonical serialization of :meth:`as_record` (engine-parity key)."""
         return canonical_dumps(self.as_record())
+
+    @classmethod
+    def from_record(cls, record: dict) -> "SolveReport":
+        """Rebuild a report from a serialized :meth:`as_record` dict.
+
+        The inverse direction of the wire format: encode → decode →
+        encode must be byte-stable (``from_record(json.loads(
+        report.canonical_json())).canonical_json() ==
+        report.canonical_json()`` — the serialization differential
+        oracle's property).  ``engine`` and ``wall_seconds`` are
+        execution details excluded from records, so they come back as
+        ``""``/``0.0``; ``outputs`` come back in their JSON spelling
+        (sets as sorted lists), which canonical serialization maps to
+        the same bytes.
+        """
+        if not isinstance(record, dict):
+            raise SpecError(
+                f"expected a SolveReport record dict, got {type(record).__name__}"
+            )
+        schema = record.get("schema")
+        if schema != REPORT_SCHEMA:
+            raise SpecError(
+                f"unsupported report schema {schema!r}; expected {REPORT_SCHEMA!r}"
+            )
+        missing = [
+            key
+            for key in (
+                "problem", "family", "algorithm", "seed", "n", "rounds",
+                "outputs", "valid", "check_reason", "messages_delivered",
+                "messages_dropped", "peak_live_nodes",
+            )
+            if key not in record
+        ]
+        if missing:
+            raise SpecError(f"report record is missing fields: {missing}")
+        valid = record["valid"]
+        check = (
+            None
+            if valid is None
+            else CheckResult(valid=bool(valid), reason=record["check_reason"])
+        )
+        return cls(
+            problem=record["problem"],
+            family=record["family"],
+            algorithm=record["algorithm"],
+            engine="",
+            seed=record["seed"],
+            n=record["n"],
+            rounds=record["rounds"],
+            outputs=record["outputs"],
+            check=check,
+            messages_delivered=record["messages_delivered"],
+            messages_dropped=record["messages_dropped"],
+            peak_live_nodes=record["peak_live_nodes"],
+        )

@@ -2,7 +2,9 @@
 
 Commands:
 
-* ``list`` — suites and their scenarios;
+* ``list`` — suites and their scenarios, plus the algorithm and engine
+  registries (via :func:`repro.api.list_algorithms` /
+  :func:`repro.api.list_engines`);
 * ``run --suite NAME [--jobs N] [--seed K] [--engine E] [--out FILE]
   [--timings]`` — execute a suite; canonical JSON goes to ``--out`` (or
   stdout), a human summary table goes to stderr; ``--engine`` retargets
@@ -21,6 +23,7 @@ import argparse
 import sys
 
 from repro.api.engines import available_engines
+from repro.api.introspection import list_algorithms, list_engines
 from repro.experiments.registry import SUITES, suite_names
 from repro.experiments.runner import Runner
 from repro.utils.serialization import canonical_dumps, write_json
@@ -34,6 +37,20 @@ def _cmd_list(_args: argparse.Namespace) -> int:
         for scenario in SUITES[suite]
     ]
     print(format_table(["suite", "scenario", "pipeline", "family"], rows))
+    # The registries, via the api introspection helpers — the same data
+    # the solve service's /v1/status endpoint reports.
+    algorithm_rows = [
+        (entry["name"], entry["kind"], ", ".join(entry["families"]))
+        for entry in list_algorithms()
+    ]
+    print()
+    print(format_table(["algorithm", "kind", "families"], algorithm_rows))
+    engine_rows = [
+        (entry["name"], entry["type"], "yes" if entry["default"] else "")
+        for entry in list_engines()
+    ]
+    print()
+    print(format_table(["engine", "type", "default"], engine_rows))
     return 0
 
 

@@ -688,6 +688,98 @@ def verification_fuzz(scenario: Scenario, rng: random.Random) -> list[dict]:
 
 
 # --------------------------------------------------------------------------
+# Solve service (repro.service)
+# --------------------------------------------------------------------------
+
+
+@pipeline("service_roundtrip")
+def service_roundtrip(scenario: Scenario, rng: random.Random) -> list[dict]:
+    """The service's core contract, exercised as an experiment scenario.
+
+    Runs an in-process :class:`~repro.service.SolveService` (no socket:
+    the experiment asserts the pipeline, not the transport) through a
+    cold/warm/duplicate cycle per spec and records the properties CI
+    gates on: byte parity against the direct façade, cache hits on
+    repeats, digest invariance across engines, and exactly-one-solve
+    dedup.  Records carry digests and booleans only — no latencies — so
+    they are byte-deterministic like every other pipeline.
+    """
+    import threading as _threading
+
+    from repro.service import SolveService, solve_request
+    from repro.utils.serialization import canonical_dumps
+
+    specs = scenario.option(
+        "specs",
+        (
+            ("maximal-matching:delta=3", "matching:proposal"),
+            ("ruling-set:delta=3,colors=1,beta=2", "ruling-set:class-sweep"),
+        ),
+    )
+    n = scenario.option("n", 32)
+    duplicates = scenario.option("duplicates", 4)
+    records = []
+    with SolveService(jobs=1) as service:
+        for spec, algorithm in specs:
+            seed = rng.randrange(2**31)
+            request = solve_request(
+                spec, algorithm=algorithm, n=n, seed=seed,
+                engine=scenario.engine,
+            )
+            before = service.solves_computed
+            cold = service.submit(request)
+            warm = service.submit(request)
+            other_engine = "object" if scenario.engine == "batched" else "batched"
+            cross = service.submit(solve_request(
+                spec, algorithm=algorithm, n=n, seed=seed, engine=other_engine,
+            ))
+            responses = [None] * duplicates
+            request2 = solve_request(
+                spec, algorithm=algorithm, n=n, seed=seed + 1,
+                engine=scenario.engine,
+            )
+            def _hit(i, out=responses, req=request2, svc=service):
+                out[i] = svc.submit(req)
+            threads = [
+                _threading.Thread(target=_hit, args=(i,))
+                for i in range(duplicates)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            solves = service.solves_computed - before
+            direct = solve(
+                spec, algorithm=algorithm, n=n, seed=seed,
+                engine=scenario.engine,
+            )
+            parity = (
+                canonical_dumps(cold["report"]) == direct.canonical_json()
+            )
+            records.append(
+                {
+                    "spec": spec,
+                    "algorithm": algorithm,
+                    "digest": cold["digest"],
+                    "cold_cached": cold["cached"],
+                    "warm_cached": warm["cached"],
+                    "engine_invariant": cross["cached"]
+                    and cross["digest"] == cold["digest"],
+                    "byte_parity": parity,
+                    "duplicates": duplicates,
+                    "duplicate_solves": solves - 1,
+                    "valid": parity
+                    and not cold["cached"]
+                    and warm["cached"]
+                    and cross["cached"]
+                    and solves == 2  # the cold solve + one for all duplicates
+                    and all(r["status"] == "ok" for r in responses),
+                }
+            )
+    return records
+
+
+# --------------------------------------------------------------------------
 # Round elimination exploration (repro.roundelim.explore)
 # --------------------------------------------------------------------------
 

@@ -261,6 +261,23 @@ SUITES: dict[str, tuple[Scenario, ...]] = {
             max_nodes=6,
         ),
     ),
+    # The solve service (repro.service): cold/warm/duplicate cycles over
+    # an in-process daemon, gating byte parity with the direct façade,
+    # engine-invariant request digests and exactly-one-solve dedup.  The
+    # -batched twin runs the same cycle from the batched engine side.
+    "service": (
+        Scenario.create(
+            "service-roundtrip",
+            pipeline="service_roundtrip",
+            duplicates=4,
+        ),
+        Scenario.create(
+            "service-roundtrip-batched",
+            pipeline="service_roundtrip",
+            duplicates=4,
+            engine="batched",
+        ),
+    ),
     # The CI gate: one fast scenario per family, sized for < 60 s total.
     "smoke": (
         Scenario.create(
@@ -327,6 +344,11 @@ SUITES: dict[str, tuple[Scenario, ...]] = {
             pipeline="re_step_census",
             sizes=(2,),
             re_engine="reference",
+        ),
+        Scenario.create(
+            "smoke-service",
+            pipeline="service_roundtrip",
+            duplicates=2,
         ),
     ),
 }

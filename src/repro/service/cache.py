@@ -1,0 +1,160 @@
+"""The digest-keyed report cache: in-memory LRU over an on-disk tier.
+
+Same tiering discipline as the exploration engine's
+:class:`~repro.roundelim.explore.store.ProblemStore`, applied to whole
+request results: entries are keyed by the canonical request digest
+(:func:`~repro.service.protocol.request_digest`), the memory tier is a
+capacity-bounded LRU, and — when rooted on a directory — every record is
+written through as canonical JSON under ``root/reports/<digest>.json``,
+so a killed-and-restarted daemon serves every previously computed answer
+from disk, byte-identical (the kill-and-restart test's property).
+
+Cached values are plain JSON dicts (``{"kind", "record"}``), never live
+objects: what the cache returns is exactly what went over the wire.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.utils import InvalidParameterError
+from repro.utils.serialization import canonical_dumps, write_json
+
+CACHE_SCHEMA = "repro.service/cached-v1"
+MANIFEST_SCHEMA = "repro.service/manifest-v1"
+
+
+@dataclass
+class CacheStats:
+    """Where responses came from during a cache's lifetime."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stored: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.memory_hits + self.disk_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered by either tier (0.0 when idle)."""
+        lookups = self.lookups
+        if lookups == 0:
+            return 0.0
+        return (self.memory_hits + self.disk_hits) / lookups
+
+    def as_dict(self) -> dict:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stored": self.stored,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
+
+@dataclass
+class ReportCache:
+    """Two-tier (LRU + on-disk) cache of canonical request results."""
+
+    capacity: int = 1024
+    root: Path | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise InvalidParameterError("cache capacity must be >= 1")
+        if self.root is not None:
+            self.root = Path(self.root)
+            (self.root / "reports").mkdir(parents=True, exist_ok=True)
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _path(self, digest: str) -> Path:
+        return self.root / "reports" / f"{digest}.json"
+
+    def lookup(self, digest: str) -> dict | None:
+        """The cached entry, or None (counts a miss).
+
+        Entries are ``{"kind", "record", "record_json"}`` —
+        ``record_json`` is the record's canonical serialization, computed
+        once per store/load so repeat responses can splice pre-rendered
+        bytes instead of re-encoding the record on every hit.
+        """
+        entry = self._entries.get(digest)
+        if entry is not None:
+            self._entries.move_to_end(digest)
+            self.stats.memory_hits += 1
+            return entry
+        if self.root is not None:
+            target = self._path(digest)
+            if target.exists():
+                loaded = json.loads(target.read_text())
+                entry = {
+                    "kind": loaded["kind"],
+                    "record": loaded["record"],
+                    "record_json": canonical_dumps(loaded["record"]),
+                }
+                self._remember(digest, entry)
+                self.stats.disk_hits += 1
+                return entry
+        self.stats.misses += 1
+        return None
+
+    def record(self, digest: str, kind: str, record: dict) -> dict:
+        """Store one computed result in both tiers; returns the entry."""
+        entry = {
+            "kind": kind,
+            "record": record,
+            "record_json": canonical_dumps(record),
+        }
+        self._remember(digest, entry)
+        self.stats.stored += 1
+        if self.root is not None:
+            write_json(
+                self._path(digest),
+                {
+                    "schema": CACHE_SCHEMA,
+                    "digest": digest,
+                    "kind": kind,
+                    "record": record,
+                },
+            )
+        return entry
+
+    def _remember(self, digest: str, entry: dict) -> None:
+        self._entries[digest] = entry
+        self._entries.move_to_end(digest)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def flush(self) -> Path | None:
+        """Write the shutdown manifest (entry census + stats) to disk.
+
+        Records are written through on every :meth:`record`, so flushing
+        is about leaving a consistent marker: the manifest names how many
+        reports the directory holds and the final counters, and its
+        presence tells a restarted daemon the previous shutdown was
+        graceful.  No-op (returns None) for a memory-only cache.
+        """
+        if self.root is None:
+            return None
+        reports = sorted(path.stem for path in (self.root / "reports").glob("*.json"))
+        return write_json(
+            self.root / "manifest.json",
+            {
+                "schema": MANIFEST_SCHEMA,
+                "reports": len(reports),
+                "stats": self.stats.as_dict(),
+            },
+        )

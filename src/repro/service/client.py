@@ -1,0 +1,107 @@
+"""A urllib client for the solve service — no dependencies, one class.
+
+:class:`ServiceClient` wraps the four endpoints and the request
+builders, so tests, benchmarks and the CLI all speak to the daemon the
+same way::
+
+    client = ServiceClient("http://127.0.0.1:8642")
+    response = client.solve("matching:delta=3", algorithm="matching:proposal")
+    canonical_dumps(response["report"])   # == direct solve bytes
+
+Transport failures raise :class:`ServiceUnavailableError`; protocol- and
+library-level failures come back as ``status="error"`` response dicts
+(the server maps every exception to one), so callers branch on the
+response, not on exception types.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.service.protocol import roundelim_request, solve_request
+from repro.utils import ReproError
+from repro.utils.serialization import canonical_dumps
+
+DEFAULT_TIMEOUT = 60.0
+
+
+class ServiceUnavailableError(ReproError):
+    """The service could not be reached (connection refused, timeout)."""
+
+    code = "service-unavailable"
+
+
+class ServiceClient:
+    """HTTP client for one solve-service daemon."""
+
+    def __init__(self, url: str, *, timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _call(self, path: str, payload: dict | None = None) -> dict:
+        target = f"{self.url}{path}"
+        data = None
+        headers = {}
+        if payload is not None:
+            data = canonical_dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(target, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            # Error responses are still protocol JSON; surface them as
+            # response dicts, not exceptions.
+            body = error.read().decode("utf-8", errors="replace")
+            try:
+                return json.loads(body)
+            except json.JSONDecodeError:
+                raise ServiceUnavailableError(
+                    f"non-protocol HTTP {error.code} from {target}: {body[:200]}"
+                ) from error
+        except (urllib.error.URLError, TimeoutError, ConnectionError) as error:
+            raise ServiceUnavailableError(
+                f"cannot reach solve service at {target}: {error}"
+            ) from error
+
+    # -- endpoints ---------------------------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        """POST one raw request-v1 dict; returns the response-v1 dict."""
+        return self._call("/v1/request", payload)
+
+    def solve(self, problem, *, algorithm, engine=None, n=None, seed=0,
+              max_rounds=10_000, check=True, options=None) -> dict:
+        """Solve via the service (mirrors :func:`repro.api.solve`)."""
+        return self.request(solve_request(
+            problem, algorithm=algorithm, engine=engine, n=n, seed=seed,
+            max_rounds=max_rounds, check=check, options=options,
+        ))
+
+    def roundelim(self, problem, *, op, budget=None, engine=None) -> dict:
+        """Run one round-elimination operator step via the service."""
+        kwargs = {"op": op}
+        if budget is not None:
+            kwargs["budget"] = budget
+        if engine is not None:
+            kwargs["engine"] = engine
+        return self.request(roundelim_request(problem, **kwargs))
+
+    def status(self) -> dict:
+        return self._call("/v1/status")
+
+    def protocol(self) -> dict:
+        return self._call("/v1/protocol")
+
+    def shutdown(self) -> dict:
+        return self._call("/v1/shutdown", {})
+
+    def ping(self) -> bool:
+        """True when the daemon answers its status endpoint."""
+        try:
+            self.status()
+            return True
+        except ServiceUnavailableError:
+            return False

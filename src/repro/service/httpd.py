@@ -1,0 +1,185 @@
+"""HTTP transport for the solve service (stdlib only).
+
+A thin JSON-over-HTTP skin on :class:`~repro.service.server.SolveService`
+using :class:`http.server.ThreadingHTTPServer` — one thread per
+connection, which composes with the service's blocking ``submit()`` and
+in-flight dedup to give request-level concurrency without any new
+dependency.
+
+Endpoints::
+
+    POST /v1/request   body = request-v1 JSON  →  response-v1 JSON
+    GET  /v1/status    live counters + registries (status-v1)
+    GET  /v1/protocol  the schema tags this server speaks
+    POST /v1/shutdown  graceful stop (when enabled), then exits
+
+Every body is canonical JSON.  Error responses use the same envelope as
+the protocol layer (``status="error"`` + stable code) with a matching
+HTTP status: 400 for client-side codes, 404/405 for routing, 500 for
+``internal``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.protocol import (
+    KINDS,
+    REQUEST_SCHEMA,
+    RESPONSE_SCHEMA,
+    STATUS_SCHEMA,
+    error_response,
+)
+from repro.service.server import SolveService
+from repro.utils.serialization import canonical_dumps
+
+#: Error codes that are the server's fault, not the client's.
+_SERVER_FAULT_CODES = frozenset({"internal", "library-error"})
+
+#: Request body size cap (16 MiB): a serialized problem payload is far
+#: smaller; anything bigger is a client error, not a solve.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+def _http_status(response: dict) -> int:
+    if response.get("status") == "ok":
+        return 200
+    code = response.get("error", {}).get("code", "internal")
+    return 500 if code in _SERVER_FAULT_CODES else 400
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-solve-service/1"
+
+    @property
+    def service(self) -> SolveService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: dict, status: int | None = None) -> None:
+        self._send_raw(
+            canonical_dumps(payload),
+            status if status is not None else _http_status(payload),
+        )
+
+    def _send_raw(self, rendered: str, status: int) -> None:
+        body = (rendered + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_request_body(self):
+        length = int(self.headers.get("Content-Length", 0))
+        if length > MAX_BODY_BYTES:
+            return None, error_response(
+                "bad-request", f"request body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        raw = self.rfile.read(length) if length else b""
+        try:
+            return json.loads(raw.decode("utf-8")), None
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return None, error_response(
+                "bad-request", f"request body is not JSON: {error}"
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/v1/request":
+            payload, failure = self._read_request_body()
+            if failure:
+                self._send_json(failure)
+                return
+            # rendered=True: ok responses arrive as pre-rendered canonical
+            # bytes (a cache hit is served without re-encoding the
+            # report); errors stay dicts for status-code mapping.
+            response = self.service.submit(payload, rendered=True)
+            if isinstance(response, str):
+                self._send_raw(response, 200)
+            else:
+                self._send_json(response)
+        elif self.path == "/v1/shutdown":
+            if not self.server.allow_remote_shutdown:  # type: ignore[attr-defined]
+                self._send_json(
+                    error_response("forbidden", "remote shutdown is disabled"), 403
+                )
+                return
+            self._send_json({"schema": RESPONSE_SCHEMA, "status": "ok",
+                             "kind": "shutdown", "cached": False})
+            # shutdown() must come from another thread: it joins the
+            # serve_forever loop this handler is running inside.
+            threading.Thread(target=self.server.shutdown, daemon=True).start()
+        else:
+            self._send_json(
+                error_response("not-found", f"no POST endpoint {self.path!r}"), 404
+            )
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/v1/status":
+            self._send_json(self.service.status())
+        elif self.path == "/v1/protocol":
+            self._send_json({
+                "schema": STATUS_SCHEMA,
+                "protocol": {
+                    "request": REQUEST_SCHEMA,
+                    "response": RESPONSE_SCHEMA,
+                    "kinds": list(KINDS),
+                },
+            })
+        else:
+            self._send_json(
+                error_response("not-found", f"no GET endpoint {self.path!r}"), 404
+            )
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`SolveService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: SolveService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        allow_remote_shutdown: bool = True,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.allow_remote_shutdown = allow_remote_shutdown
+        self.verbose = verbose
+        super().__init__((host, port), _ServiceHandler)
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def run(self) -> None:
+        """serve_forever, then close the service (graceful shutdown)."""
+        try:
+            self.serve_forever(poll_interval=0.1)
+        finally:
+            self.server_close()
+            self.service.close()
+
+
+def start_http_service(service: SolveService, host="127.0.0.1", port=0, **kw):
+    """Bind a server and serve it on a background thread; returns it.
+
+    Convenience for tests and benchmarks: the caller gets a live
+    ``server.url`` immediately and stops everything with
+    ``server.shutdown()`` + ``thread.join()`` (or just lets the daemon
+    thread die with the process).
+    """
+    server = ServiceHTTPServer(service, host, port, **kw)
+    thread = threading.Thread(target=server.run, name="solve-http", daemon=True)
+    thread.start()
+    return server, thread

@@ -1,0 +1,102 @@
+"""The worker side of the service: pure request execution.
+
+:func:`compute_result` is the one function a worker runs — canonical
+request in, plain JSON result out, no shared state — so the dispatcher
+can execute it inline (``jobs=1``), or ship whole batches of deduplicated
+requests to a :class:`multiprocessing.Pool` (``jobs>1``) and merge the
+results in task order.  Mirrors the explorer's
+:func:`~repro.roundelim.explore.store.compute_step` contract: stateless,
+picklable-argument-only, failures returned as data.
+
+A failed request is a *result* (``{"ok": False, "code", "message"}``),
+never a worker crash: the dispatcher must be able to resolve every
+waiting requester and keep serving.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+from repro import api
+from repro.api.errors import error_code
+from repro.roundelim.explore.store import compute_step
+from repro.utils import InvalidParameterError
+
+
+def compute_result(canonical: dict) -> dict:
+    """Execute one canonical request; return ``{"ok", ...}`` JSON.
+
+    For ``solve`` the record is ``json.loads(report.canonical_json())``
+    — already in canonical JSON shape, so re-serializing it anywhere
+    downstream reproduces the direct façade bytes.  For ``roundelim``
+    the record is the store's operator-outcome shape (``status``,
+    ``child`` digest, ``child_payload``), with budget exhaustion as an
+    outcome rather than an error.
+    """
+    try:
+        if canonical["kind"] == "solve":
+            report = api.solve(
+                canonical["problem"],
+                algorithm=canonical["algorithm"],
+                engine=canonical["engine"],
+                n=canonical["n"],
+                seed=canonical["seed"],
+                max_rounds=canonical["max_rounds"],
+                check=canonical["check"],
+                **canonical["options"],
+            )
+            record = json.loads(report.canonical_json())
+        else:
+            record = compute_step(
+                canonical["problem"],
+                canonical["op"],
+                canonical["budget"],
+                canonical["engine"],
+            )
+        return {"ok": True, "kind": canonical["kind"], "record": record}
+    except Exception as error:  # noqa: BLE001 - failures are results
+        return {
+            "ok": False,
+            "code": error_code(error),
+            "message": f"{type(error).__name__}: {error}",
+        }
+
+
+class WorkerPool:
+    """Batch executor: inline when ``jobs=1``, process pool otherwise.
+
+    The pool is created lazily on the first parallel batch (a service
+    that only ever serves cache hits should not fork workers), and falls
+    back to inline execution when process pools are unavailable — e.g.
+    inside a daemonic worker of an outer pool, the same restriction the
+    exploration frontier handles.
+    """
+
+    def __init__(self, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise InvalidParameterError("worker jobs must be >= 1")
+        self.jobs = jobs
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            try:
+                self._pool = multiprocessing.Pool(processes=self.jobs)
+            except (AssertionError, ValueError, OSError):
+                self._pool = False  # pools unavailable here: stay inline
+        return self._pool
+
+    def run_batch(self, batch: list[dict]) -> list[dict]:
+        """Execute a batch of canonical requests, results in task order."""
+        if len(batch) > 1 and self.jobs > 1:
+            pool = self._ensure_pool()
+            if pool:
+                return pool.map(compute_result, batch)
+        return [compute_result(canonical) for canonical in batch]
+
+    def close(self) -> None:
+        if self._pool:
+            self._pool.close()
+            self._pool.join()
+        self._pool = None

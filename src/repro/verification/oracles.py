@@ -308,6 +308,37 @@ class SerializationOracle(Oracle):
         flattened = to_jsonable(value)
         if to_jsonable(flattened) != flattened:
             return "to_jsonable is not idempotent on its own output"
+        # The wire format built on these primitives: a SolveReport
+        # carrying the fuzzed tree as its outputs must survive
+        # encode → from_record → encode byte-identically (the
+        # repro.api/report-v1 contract the solve service caches rely on).
+        report = api.SolveReport(
+            problem="fuzz:serialization",
+            family="fuzz",
+            algorithm="fuzz:tree",
+            engine="object",
+            seed=0,
+            n=1,
+            rounds=0,
+            outputs=value,
+            check=None,
+            messages_delivered=0,
+            messages_dropped=0,
+            peak_live_nodes=1,
+        )
+        first = report.canonical_json()
+        try:
+            rebuilt = api.SolveReport.from_record(json.loads(first))
+        except Exception as error:  # noqa: BLE001 - any crash is a finding
+            return (
+                f"SolveReport.from_record rejected its own canonical "
+                f"record: {type(error).__name__}: {error}"
+            )
+        if rebuilt.canonical_json() != first:
+            return (
+                "SolveReport encode → from_record → encode is not "
+                "byte-stable on the fuzzed outputs tree"
+            )
         return None
 
     def shrink(self, params: dict) -> Iterator[dict]:
