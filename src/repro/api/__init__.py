@@ -65,7 +65,12 @@ from repro.api.types import (
 import repro.algorithms  # noqa: E402,F401  (imported for registration side effect)
 
 from repro.api.facade import FAMILY_CHECKERS, check, simulate, solve
-from repro.api.introspection import describe, list_algorithms, list_engines
+from repro.api.introspection import (
+    describe,
+    list_algorithms,
+    list_engines,
+    list_solvers,
+)
 
 __all__ = [
     "ALGORITHMS",
@@ -92,6 +97,7 @@ __all__ = [
     "family_network",
     "list_algorithms",
     "list_engines",
+    "list_solvers",
     "register_algorithm",
     "register_engine",
     "resolve_algorithm",

@@ -55,6 +55,27 @@ def list_engines() -> list[dict]:
     ]
 
 
+def list_solvers() -> list[dict]:
+    """Registered solver backends as records, sorted by name.
+
+    Each record: ``{"name", "default", "description", "budget_unit"}`` —
+    the decision-procedure registry of :mod:`repro.solvers.backends`
+    (the CSP/SAT pair), as opposed to the simulation engines of
+    :func:`list_engines`.
+    """
+    from repro.solvers.backends import BACKENDS, DEFAULT_BACKEND
+
+    return [
+        {
+            "name": name,
+            "default": name == DEFAULT_BACKEND,
+            "description": description,
+            "budget_unit": unit,
+        }
+        for name, (_factory, description, unit) in sorted(BACKENDS.items())
+    ]
+
+
 def describe(problem: ProblemSpec | str) -> dict:
     """Everything the façade knows about one problem spec.
 

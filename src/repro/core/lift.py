@@ -150,6 +150,28 @@ class LiftedProblem:
             name=self.name,
         )
 
+    def solvable_on(
+        self,
+        graph: nx.Graph,
+        *,
+        backend: str | None = None,
+        budget: int | None = None,
+    ) -> bool:
+        """Does this lift have a bipartite solution on the support graph?
+
+        The Theorem 3.2 gate, through any registered solver backend.
+        """
+        from repro.solvers.csp import DEFAULT_NODE_BUDGET
+        from repro.solvers.existence import solve_bipartite
+
+        solution = solve_bipartite(
+            graph,
+            self.to_problem(),
+            budget=DEFAULT_NODE_BUDGET if budget is None else budget,
+            backend=backend,
+        )
+        return solution is not None
+
 
 def lift(problem: Problem, delta: int, rank: int) -> LiftedProblem:
     """Construct lift_{Δ,r}(Π) per Definition 3.1.

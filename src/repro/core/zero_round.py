@@ -37,7 +37,7 @@ from itertools import combinations, product
 
 import networkx as nx
 
-from repro.core.lift import LiftedProblem
+from repro.core.lift import LiftedProblem, lift
 from repro.formalism.configurations import Configuration, Label
 from repro.formalism.problems import Problem
 from repro.utils import SimulationError, SolverError
@@ -262,6 +262,36 @@ def check_lift_solution(
         if len(sets) == lifted.rank and not lifted.black_allows(sets):
             return False
     return True
+
+
+def zero_round_solvable(
+    graph: nx.Graph,
+    problem: Problem,
+    delta: int | None = None,
+    rank: int | None = None,
+    *,
+    backend: str | None = None,
+    budget: int | None = None,
+) -> bool:
+    """Decide 0-round solvability via the Theorem 3.2 gate.
+
+    Lifts Π to the support graph's (Δ, r) arities and asks the chosen
+    solver backend for a bipartite solution — the scalable alternative
+    to :func:`exists_zero_round_algorithm`'s brute force over the full
+    algorithm space.  ``delta`` / ``rank`` default to the maximum white /
+    black degree of the support graph, clamped up to Π's arities (the
+    lift requires Δ ≥ Δ′; on supports too sparse for any node to become
+    active the clamp keeps the gate defined, and it answers True there).
+    """
+    whites, blacks = white_and_black(graph)
+    if delta is None:
+        degrees = (graph.degree(node) for node in whites)
+        delta = max(max(degrees, default=0), problem.white_arity)
+    if rank is None:
+        degrees = (graph.degree(node) for node in blacks)
+        rank = max(max(degrees, default=0), problem.black_arity)
+    lifted = lift(problem, delta, rank)
+    return lifted.solvable_on(graph, backend=backend, budget=budget)
 
 
 def exists_zero_round_algorithm(

@@ -23,7 +23,7 @@ import argparse
 import sys
 
 from repro.api.engines import available_engines
-from repro.api.introspection import list_algorithms, list_engines
+from repro.api.introspection import list_algorithms, list_engines, list_solvers
 from repro.experiments.registry import SUITES, suite_names
 from repro.experiments.runner import Runner
 from repro.utils.serialization import canonical_dumps, write_json
@@ -51,6 +51,21 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     ]
     print()
     print(format_table(["engine", "type", "default"], engine_rows))
+    solver_rows = [
+        (
+            entry["name"],
+            entry["budget_unit"],
+            "yes" if entry["default"] else "",
+            entry["description"],
+        )
+        for entry in list_solvers()
+    ]
+    print()
+    print(
+        format_table(
+            ["solver", "budget unit", "default", "description"], solver_rows
+        )
+    )
     return 0
 
 

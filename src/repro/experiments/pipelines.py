@@ -780,6 +780,51 @@ def service_roundtrip(scenario: Scenario, rng: random.Random) -> list[dict]:
 
 
 # --------------------------------------------------------------------------
+# Solver backends (repro.solvers)
+# --------------------------------------------------------------------------
+
+
+@pipeline("zero_round_gates")
+def zero_round_gates(scenario: Scenario, rng: random.Random) -> list[dict]:
+    """Theorem 3.2 zero-round gates decided by a named solver backend.
+
+    The ``solver`` option picks the decision procedure (``csp``/``sat``)
+    behind :func:`~repro.core.zero_round.zero_round_solvable` and
+    :func:`~repro.solvers.solution_set`.  Like the engine, the backend is
+    deliberately absent from the records: by the backend contract they
+    are byte-identical across both, which the ``solvers`` suite's
+    ``-sat-solver`` twin pins in CI.  Each record cross-checks the gate
+    three ways — the uniform sufficient condition implies it, and it
+    must agree with the lift's enumerated solution count being nonzero.
+    """
+    from repro.core.zero_round import zero_round_solvable
+    from repro.roundelim.explore.classify import uniform_zero_round
+    from repro.solvers import solution_set
+
+    support = _require_family(scenario, rng)
+    solver = scenario.option("solver", "csp")
+    delta = scenario.option("delta", 2)
+    records = []
+    for x in scenario.sizes:
+        problem = pi_matching(delta, x, 1)
+        lifted = lift(problem, problem.white_arity, problem.black_arity)
+        gate = zero_round_solvable(support, problem, backend=solver)
+        uniform = uniform_zero_round(problem)
+        solutions = solution_set(support, lifted.to_problem(), backend=solver)
+        records.append(
+            {
+                "delta": delta,
+                "x": x,
+                "uniform_zero_round": uniform,
+                "zero_round": bool(gate),
+                "lift_solutions": len(solutions),
+                "valid": gate == (len(solutions) > 0) and (not uniform or gate),
+            }
+        )
+    return records
+
+
+# --------------------------------------------------------------------------
 # Round elimination exploration (repro.roundelim.explore)
 # --------------------------------------------------------------------------
 

@@ -261,6 +261,28 @@ SUITES: dict[str, tuple[Scenario, ...]] = {
             max_nodes=6,
         ),
     ),
+    # Solver backends (repro.solvers): the Theorem 3.2 zero-round gate
+    # decided through both decision procedures.  The -sat-solver twin
+    # must serialize byte-identically to the csp scenario (the backend,
+    # like the engine, never reaches the records) — CI diffs the two
+    # record files.
+    "solvers": (
+        Scenario.create(
+            "zero-round-gates",
+            pipeline="zero_round_gates",
+            family="marked_cycle:8",
+            sizes=(0, 1),
+            delta=2,
+        ),
+        Scenario.create(
+            "zero-round-gates-sat-solver",
+            pipeline="zero_round_gates",
+            family="marked_cycle:8",
+            sizes=(0, 1),
+            delta=2,
+            solver="sat",
+        ),
+    ),
     # The solve service (repro.service): cold/warm/duplicate cycles over
     # an in-process daemon, gating byte parity with the direct façade,
     # engine-invariant request digests and exactly-one-solve dedup.  The

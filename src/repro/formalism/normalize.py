@@ -172,6 +172,52 @@ def _minimal_order(
     return best_order, best[0], best[1]
 
 
+def label_automorphisms(
+    problem: Problem, limit: int = PERMUTATION_LIMIT
+) -> list[dict[Label, Label]] | None:
+    """The full label-automorphism group of a problem, identity first.
+
+    An automorphism is a bijection σ of the alphabet with
+    ``problem.rename(σ) == problem`` (both constraints preserved as
+    sets).  Candidates are enumerated per refined class — automorphisms
+    must respect the renaming-invariant partition of
+    :func:`_refined_classes`, so the search space is the product of
+    within-class permutations, and checking every candidate makes the
+    returned group *complete*.  The SAT backend turns non-identity
+    elements into lex-leader symmetry-breaking clauses and re-expands
+    enumerated solutions along the group's orbits.
+
+    Returns ``None`` when the candidate count exceeds ``limit`` (the
+    caller falls back to identity-only, i.e. no breaking) — the same
+    too-symmetric envelope :func:`normal_form` guards with
+    ``PERMUTATION_LIMIT``.
+    """
+    classes = _refined_classes(problem)
+    total = 1
+    for group in classes:
+        total *= factorial(len(group))
+        if total > limit:
+            return None
+    white = problem.white.configurations
+    black = problem.black.configurations
+    found: list[dict[Label, Label]] = []
+    for combo in product(*(permutations(group) for group in classes)):
+        mapping = {
+            source: target
+            for group, targets in zip(classes, combo)
+            for source, target in zip(group, targets)
+        }
+        if all(
+            config.map_labels(mapping) in white for config in white
+        ) and all(config.map_labels(mapping) in black for config in black):
+            found.append(mapping)
+    # Identity first, then a deterministic order over the rest.
+    found.sort(key=lambda m: sorted(m.items()))
+    identity = {label: label for label in problem.alphabet}
+    found.remove(identity)
+    return [identity, *found]
+
+
 @dataclass(frozen=True)
 class NormalForm:
     """The canonical form of a problem: payload, digest, problem, witness."""

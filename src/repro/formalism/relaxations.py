@@ -66,16 +66,26 @@ def _partial_image_extendable(
 
 
 def find_label_relaxation(
-    strict: Problem, relaxed: Problem
+    strict: Problem, relaxed: Problem, *, backend: str | None = None
 ) -> dict[Label, Label] | None:
-    """Complete backtracking search for a label map witnessing relaxation.
+    """Complete search for a label map witnessing relaxation.
 
     Returns a witness map or None if *no label map* works.  Note that the
     paper's relaxation notion is more general (per-configuration maps); a
     None here does not by itself refute relaxation, so callers that need
     refutation should fall back to :func:`is_relaxation_via_config_map`
     with candidate maps or to semantic arguments.
+
+    ``backend="sat"`` compiles the map search to CNF (one-hot map
+    variables, blocking clauses from the relaxed problem's
+    partial-extension tables) and decides it with the CDCL solver; both
+    backends agree on existence, though they may return different
+    witnesses.
     """
+    from repro.solvers.backends import resolve_backend
+
+    if resolve_backend(backend) == "sat":
+        return _find_label_relaxation_sat(strict, relaxed)
     source_labels = sorted(strict.white.labels | strict.black.labels)
     target_labels = sorted(relaxed.alphabet)
     if not source_labels:
@@ -121,6 +131,95 @@ def find_label_relaxation(
         return None
 
     return backtrack(0, {})
+
+
+def _find_label_relaxation_sat(
+    strict: Problem, relaxed: Problem
+) -> dict[Label, Label] | None:
+    """The SAT path of :func:`find_label_relaxation`.
+
+    Variables ``("m", s, t)`` one-hot-select the image of each used
+    source label; per strict configuration, a DFS over its *distinct*
+    labels' image choices emits a blocking clause at the first prefix
+    whose induced image multiset the relaxed constraint table rejects.
+    The decoded witness is re-verified through
+    :func:`is_relaxation_via_label_map` before being returned.
+    """
+    from repro.formalism.encoding import ConstraintTable, LabelEncoding
+    from repro.solvers.sat.cnf import CnfFormula
+    from repro.solvers.sat.solver import CdclSolver
+
+    source_labels = sorted(strict.white.labels | strict.black.labels)
+    target_labels = sorted(relaxed.alphabet)
+    if not source_labels:
+        return {}
+    if not target_labels:
+        return None
+    encoding = LabelEncoding.for_alphabet(relaxed.alphabet)
+    tables = {
+        "white": ConstraintTable.compile(relaxed.white, encoding),
+        "black": ConstraintTable.compile(relaxed.black, encoding),
+    }
+    formula = CnfFormula()
+    selector = {
+        (source, code): formula.var(("m", source, target))
+        for source in source_labels
+        for code, target in enumerate(target_labels)
+    }
+    for source in source_labels:
+        row = [selector[(source, code)] for code in range(len(target_labels))]
+        formula.add_clause(row)
+        for first in range(len(row)):
+            for second in range(first + 1, len(row)):
+                formula.add_clause([-row[first], -row[second]])
+
+    def encode_config(config: Configuration, side: str) -> None:
+        table = tables[side]
+        items = sorted(config.counter.items())  # (label, multiplicity)
+        chosen: list[int] = []
+
+        def blocking() -> list[int]:
+            return [
+                -selector[(items[position][0], chosen[position])]
+                for position in range(len(chosen))
+            ]
+
+        def visit(depth: int) -> None:
+            image: list[int] = []
+            for position in range(depth):
+                image.extend([chosen[position]] * items[position][1])
+            image.sort()
+            if depth == len(items):
+                if not table.allows(tuple(image)):
+                    formula.add_clause(blocking())
+                return
+            if not table.extends(tuple(image)):
+                formula.add_clause(blocking())
+                return
+            for code in range(len(target_labels)):
+                chosen.append(code)
+                visit(depth + 1)
+                chosen.pop()
+
+        visit(0)
+
+    for config in strict.white:
+        encode_config(config, "white")
+    for config in strict.black:
+        encode_config(config, "black")
+
+    solver = CdclSolver(formula, seed=formula.digest())
+    if not solver.solve():
+        return None
+    model = solver.model()
+    mapping = {}
+    for source in source_labels:
+        for code, target in enumerate(target_labels):
+            if model[selector[(source, code)]]:
+                mapping[source] = target
+                break
+    assert is_relaxation_via_label_map(strict, relaxed, mapping)
+    return mapping
 
 
 ConfigMap = Mapping[tuple[Label, ...], tuple[Label, ...]]

@@ -39,7 +39,14 @@ EXHAUSTIVE_EDGE_CAP = 6
 #: Alphabet cap for the exhaustive zero-round check.
 EXHAUSTIVE_ALPHABET_CAP = 3
 
-ZERO_ROUND_MODES = ("uniform", "exhaustive")
+#: The SAT-gated envelope is wider: the Theorem 3.2 lift-and-solve gate
+#: replaces the 2^edges × algorithm-space brute force with one CDCL
+#: solve, so larger supports and alphabets stay tractable.
+SAT_EDGE_CAP = 9
+
+SAT_ALPHABET_CAP = 4
+
+ZERO_ROUND_MODES = ("uniform", "exhaustive", "exhaustive-sat")
 
 
 def uniform_zero_round(problem: Problem) -> bool:
@@ -73,18 +80,28 @@ def _smallest_biregular_support(white_arity: int, black_arity: int) -> nx.Graph:
     return graph
 
 
-def exhaustive_zero_round(problem: Problem) -> bool | None:
+def exhaustive_zero_round(
+    problem: Problem, method: str = "bruteforce"
+) -> bool | None:
     """Exact 0-round existence on the smallest biregular support.
 
-    ``None`` means the instance exceeds the brute-force envelope (too
-    many edges, too large an alphabet, or the algorithm space overflow
-    guard of :func:`repro.core.zero_round.exists_zero_round_algorithm`
-    tripped) — the caller records "unknown", never a guess.
+    ``None`` means the instance exceeds the method's envelope — the
+    caller records "unknown", never a guess.  ``method="bruteforce"``
+    enumerates the full 0-round algorithm space
+    (:func:`repro.core.zero_round.exists_zero_round_algorithm`);
+    ``method="sat"`` decides the equivalent Theorem 3.2 lift gate with
+    the CDCL backend, which widens the tractable envelope
+    (``SAT_EDGE_CAP`` / ``SAT_ALPHABET_CAP``) — the exploration policy's
+    ``exhaustive-sat`` mode.  Both methods answer identically inside the
+    shared envelope (Theorem 3.2 is the proven equivalence, and the
+    zero-round test suite asserts it).
     """
-    from repro.core.zero_round import exists_zero_round_algorithm
-
     if problem.white_arity < 1 or problem.black_arity < 1:
         return None
+    if method == "sat":
+        return _exhaustive_zero_round_sat(problem)
+    from repro.core.zero_round import exists_zero_round_algorithm
+
     if problem.white_arity * problem.black_arity > EXHAUSTIVE_EDGE_CAP:
         return None
     if len(problem.alphabet) > EXHAUSTIVE_ALPHABET_CAP:
@@ -94,6 +111,21 @@ def exhaustive_zero_round(problem: Problem) -> bool | None:
         return exists_zero_round_algorithm(
             support, problem, edge_limit=EXHAUSTIVE_EDGE_CAP
         )
+    except SolverError:
+        return None
+
+
+def _exhaustive_zero_round_sat(problem: Problem) -> bool | None:
+    """The SAT fast path: lift to the smallest support and CDCL-solve."""
+    from repro.core.zero_round import zero_round_solvable
+
+    if problem.white_arity * problem.black_arity > SAT_EDGE_CAP:
+        return None
+    if len(problem.alphabet) > SAT_ALPHABET_CAP:
+        return None
+    support = _smallest_biregular_support(problem.white_arity, problem.black_arity)
+    try:
+        return zero_round_solvable(problem=problem, graph=support, backend="sat")
     except SolverError:
         return None
 

@@ -311,8 +311,15 @@ def _classify(search: _Search) -> None:
         node = search.nodes[digest]
         problem = search.problem(digest)
         node["zero_round"] = uniform_zero_round(problem)
-        if search.policy.zero_round == "exhaustive" and not node["zero_round"]:
-            exact = exhaustive_zero_round(problem)
+        if (
+            search.policy.zero_round in ("exhaustive", "exhaustive-sat")
+            and not node["zero_round"]
+        ):
+            method = (
+                "sat" if search.policy.zero_round == "exhaustive-sat"
+                else "bruteforce"
+            )
+            exact = exhaustive_zero_round(problem, method=method)
             if exact is not None:
                 node["zero_round"] = exact
         # apply(), not lookup(): a tiny LRU may have evicted the RE memo

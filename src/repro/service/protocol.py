@@ -45,6 +45,7 @@ from repro.roundelim.operators import (
     DEFAULT_ENGINE as DEFAULT_RE_ENGINE,
     ENGINES as RE_ENGINES,
 )
+from repro.solvers.backends import BACKENDS, DEFAULT_BACKEND
 from repro.utils import ReproError
 from repro.utils.serialization import result_digest, to_jsonable
 
@@ -114,6 +115,18 @@ def _parse_problem_field(problem) -> ProblemSpec:
     )
 
 
+def _canonical_solver(request: dict) -> str:
+    solver = _require_type(
+        request, "solver", (str,), default=DEFAULT_BACKEND
+    )
+    if solver not in BACKENDS:
+        raise ProtocolError(
+            f"unknown solver backend {solver!r}; known: {sorted(BACKENDS)}",
+            "bad-field",
+        )
+    return solver
+
+
 def _canonicalize_solve(request: dict) -> dict:
     spec = _parse_problem_field(
         _require_type(request, "problem", (str, dict), required=True)
@@ -131,6 +144,7 @@ def _canonicalize_solve(request: dict) -> dict:
     max_rounds = _require_type(request, "max_rounds", (int,), default=10_000)
     check = _require_type(request, "check", (bool,), default=True)
     options = _require_type(request, "options", (dict,), default={})
+    solver = _canonical_solver(request)
     if n is not None and n < 1:
         raise ProtocolError(f"request field 'n' must be >= 1, got {n}", "bad-field")
     if max_rounds < 1:
@@ -146,6 +160,7 @@ def _canonicalize_solve(request: dict) -> dict:
         "problem": spec.spec,
         "algorithm": algo.name,
         "engine": engine.name,
+        "solver": solver,
         "n": n,
         "seed": seed,
         "max_rounds": max_rounds,
@@ -187,6 +202,7 @@ def _canonicalize_roundelim(request: dict) -> dict:
             f"unknown roundelim engine {engine!r}; known: {sorted(RE_ENGINES)}",
             "bad-field",
         )
+    solver = _canonical_solver(request)
     return {
         "schema": REQUEST_SCHEMA,
         "kind": "roundelim",
@@ -195,6 +211,7 @@ def _canonicalize_roundelim(request: dict) -> dict:
         "op": op,
         "budget": budget,
         "engine": engine,
+        "solver": solver,
     }
 
 
@@ -231,12 +248,15 @@ def canonicalize_request(request) -> dict:
 def request_digest(canonical: dict) -> str:
     """The content digest a canonical request is cached and deduped under.
 
-    Excludes the engine: engines are observationally equivalent by the
-    façade/operator contracts, so requests differing only in backend
-    share one cache entry and one in-flight solve.
+    Excludes the engine and the solver backend: both are observationally
+    equivalent by contract (the façade/operator guarantees for engines,
+    the differential ``sat`` oracle for solvers), so requests differing
+    only in backend share one cache entry and one in-flight solve.
     """
     keyed = {
-        key: value for key, value in canonical.items() if key != "engine"
+        key: value
+        for key, value in canonical.items()
+        if key not in ("engine", "solver")
     }
     return result_digest(keyed, length=DIGEST_LENGTH)
 
@@ -246,6 +266,7 @@ def solve_request(
     *,
     algorithm: str,
     engine: str | None = None,
+    solver: str | None = None,
     n: int | None = None,
     seed: int = 0,
     max_rounds: int = 10_000,
@@ -266,6 +287,8 @@ def solve_request(
     }
     if engine is not None:
         request["engine"] = engine
+    if solver is not None:
+        request["solver"] = solver
     if n is not None:
         request["n"] = n
     if options:
@@ -279,6 +302,7 @@ def roundelim_request(
     op: str,
     budget: int = DEFAULT_ROUNDELIM_BUDGET,
     engine: str | None = None,
+    solver: str | None = None,
 ) -> dict:
     """Build a raw ``kind="roundelim"`` request."""
     request = {
@@ -290,6 +314,8 @@ def roundelim_request(
     }
     if engine is not None:
         request["engine"] = engine
+    if solver is not None:
+        request["solver"] = solver
     return request
 
 

@@ -1,11 +1,24 @@
 """Exact solution-existence solvers for problems on concrete graphs."""
 
+from repro.solvers.backends import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    make_solver,
+    resolve_backend,
+)
+from repro.solvers.budget import SolverBudget
 from repro.solvers.csp import (
+    CSP_BUDGET_UNIT,
     DEFAULT_NODE_BUDGET,
     EdgeLabelingCSP,
     check_edge_labeling,
 )
-from repro.solvers.enumeration import brute_force_solutions, brute_force_solvable
+from repro.solvers.enumeration import (
+    brute_force_solutions,
+    brute_force_solvable,
+    canonical_labeling,
+    solution_set,
+)
 from repro.solvers.existence import (
     bipartite_solvable,
     lift_solvable_bipartite,
@@ -15,17 +28,27 @@ from repro.solvers.existence import (
     solve_non_bipartite,
     solve_s_solution,
 )
+from repro.solvers.sat import SatLabelingSolver
 
 __all__ = [
+    "BACKENDS",
+    "CSP_BUDGET_UNIT",
+    "DEFAULT_BACKEND",
     "DEFAULT_NODE_BUDGET",
     "EdgeLabelingCSP",
+    "SatLabelingSolver",
+    "SolverBudget",
     "bipartite_solvable",
     "brute_force_solutions",
     "brute_force_solvable",
+    "canonical_labeling",
     "check_edge_labeling",
     "lift_solvable_bipartite",
     "lift_solvable_non_bipartite",
+    "make_solver",
     "non_bipartite_solvable",
+    "resolve_backend",
+    "solution_set",
     "solve_bipartite",
     "solve_non_bipartite",
     "solve_s_solution",

@@ -1,0 +1,91 @@
+"""The solver-backend registry: one name per decision procedure.
+
+Both backends implement the same edge-labeling surface (``solve`` /
+``iter_solutions`` / ``count_solutions``) over the same formalism
+semantics, and are observationally equivalent by contract — the ``sat``
+differential oracle fuzzes that contract, and the protocol layer
+excludes the backend from request digests for the same reason engines
+are excluded.
+
+* ``csp`` — complete backtracking with partial-extension pruning
+  (:class:`~repro.solvers.csp.EdgeLabelingCSP`); budget counts edge
+  placements.
+* ``sat`` — CNF compilation + CDCL with lex-leader symmetry breaking
+  (:class:`~repro.solvers.sat.labeling.SatLabelingSolver`); budget
+  counts propagations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import networkx as nx
+
+from repro.formalism.problems import Problem
+from repro.solvers.budget import SolverBudget
+from repro.solvers.csp import DEFAULT_NODE_BUDGET, EdgeLabelingCSP, NodePredicate
+from repro.utils import InvalidParameterError
+
+DEFAULT_BACKEND = "csp"
+
+
+def _make_csp(graph, problem, white_active, black_active, budget):
+    return EdgeLabelingCSP(
+        graph,
+        problem,
+        white_active=white_active,
+        black_active=black_active,
+        budget=budget,
+    )
+
+
+def _make_sat(graph, problem, white_active, black_active, budget):
+    from repro.solvers.sat.labeling import SatLabelingSolver
+
+    return SatLabelingSolver(
+        graph,
+        problem,
+        white_active=white_active,
+        black_active=black_active,
+        budget=budget,
+    )
+
+
+#: name -> (factory, one-line description, budget unit).
+BACKENDS: dict[str, tuple[Callable, str, str]] = {
+    "csp": (
+        _make_csp,
+        "complete backtracking with partial-extension pruning",
+        "edge placements",
+    ),
+    "sat": (
+        _make_sat,
+        "CNF + CDCL with lex-leader symmetry breaking",
+        "propagations",
+    ),
+}
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Validate a backend name (None means the default)."""
+    if backend is None:
+        return DEFAULT_BACKEND
+    if backend not in BACKENDS:
+        raise InvalidParameterError(
+            f"unknown solver backend {backend!r}; known: {sorted(BACKENDS)}"
+        )
+    return backend
+
+
+def make_solver(
+    graph: nx.Graph,
+    problem: Problem,
+    *,
+    backend: str | None = None,
+    white_active: NodePredicate | None = None,
+    black_active: NodePredicate | None = None,
+    budget: int | SolverBudget = DEFAULT_NODE_BUDGET,
+):
+    """Instantiate the named backend's labeling solver."""
+    factory, _description, _unit = BACKENDS[resolve_backend(backend)]
+    return factory(graph, problem, white_active, black_active, budget)

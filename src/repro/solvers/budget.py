@@ -1,0 +1,70 @@
+"""One budget abstraction for every solver backend.
+
+The CSP backend counts *placed edges* and the SAT backend counts
+*propagations* — different units, but the same contract: work is metered
+by an explicit counter, and crossing the limit raises
+:class:`~repro.utils.SolverLimitError` instead of returning a truncated
+answer, so unsolvability claims never rest on incomplete searches.
+
+:class:`SolverBudget` makes that contract uniform and the thresholds
+deterministic: every unit of work flows through :meth:`spend`, the spend
+sequence depends only on the instance (never on hash seeds or wall
+clock), and the exhaustion error names the unit and the exact counter
+value.  Backends accept either a plain int (a fresh budget per solver
+call, the historical behavior) or a shared ``SolverBudget`` instance
+(caller-owned accounting across several calls).
+"""
+
+from __future__ import annotations
+
+from repro.utils import InvalidParameterError, SolverLimitError
+
+
+class SolverBudget:
+    """A deterministic work meter with a hard limit.
+
+    ``unit`` names what one tick measures (``"edge placements"`` for the
+    CSP backend, ``"propagations"`` for the SAT backend); it appears in
+    the exhaustion error so budget-parity tests can assert on it.
+    """
+
+    __slots__ = ("limit", "unit", "spent")
+
+    def __init__(self, limit: int, unit: str = "steps") -> None:
+        if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+            raise InvalidParameterError(
+                f"solver budget limit must be a positive int, got {limit!r}"
+            )
+        self.limit = limit
+        self.unit = unit
+        self.spent = 0
+
+    @classmethod
+    def coerce(cls, budget: "int | SolverBudget", unit: str) -> "SolverBudget":
+        """Wrap a plain int limit; pass a ready budget through unchanged."""
+        if isinstance(budget, SolverBudget):
+            return budget
+        return cls(budget, unit=unit)
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.limit - self.spent)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.spent >= self.limit
+
+    def spend(self, amount: int = 1) -> None:
+        """Meter ``amount`` units of work; raise once past the limit."""
+        self.spent += amount
+        if self.spent > self.limit:
+            raise SolverLimitError(
+                f"solver exceeded its {self.unit} budget: "
+                f"{self.spent} > {self.limit}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"SolverBudget(limit={self.limit}, unit={self.unit!r}, "
+            f"spent={self.spent})"
+        )

@@ -23,12 +23,16 @@ import networkx as nx
 
 from repro.formalism.configurations import Label
 from repro.formalism.problems import Problem
-from repro.utils import SolverError, SolverLimitError
+from repro.solvers.budget import SolverBudget
+from repro.utils import SolverError
 
 Edge = tuple
 NodePredicate = Callable[[object], bool]
 
 DEFAULT_NODE_BUDGET = 5_000_000
+
+#: The unit the CSP backend meters: one tick per edge-label placement.
+CSP_BUDGET_UNIT = "edge placements"
 
 
 class EdgeLabelingCSP:
@@ -40,10 +44,12 @@ class EdgeLabelingCSP:
         problem: Problem,
         white_active: NodePredicate | None = None,
         black_active: NodePredicate | None = None,
-        budget: int = DEFAULT_NODE_BUDGET,
+        budget: int | SolverBudget = DEFAULT_NODE_BUDGET,
     ) -> None:
         self.graph = graph
         self.problem = problem
+        # An int is a per-search limit (each solve/count starts fresh); a
+        # SolverBudget instance is caller-owned and shared across calls.
         self.budget = budget
         self._colors = self._read_colors()
         self._white_active = white_active or self._default_active("white")
@@ -135,7 +141,10 @@ class EdgeLabelingCSP:
         }
         assigned_counts: dict = {node: 0 for node in self.graph.nodes}
         assignment: dict[frozenset, Label] = {}
-        steps = 0
+        if isinstance(self.budget, SolverBudget):
+            budget = self.budget
+        else:
+            budget = SolverBudget(self.budget, unit=CSP_BUDGET_UNIT)
 
         def node_ok_partial(node) -> bool:
             if not self._is_active(node):
@@ -163,17 +172,12 @@ class EdgeLabelingCSP:
             return sorted(options)
 
         def place(index: int) -> Iterator[dict[frozenset, Label]]:
-            nonlocal steps
             if index == len(self._edges):
                 yield dict(assignment)
                 return
             u, v = self._edges[index]
             for label in candidates(u, v):
-                steps += 1
-                if steps > self.budget:
-                    raise SolverLimitError(
-                        f"CSP search exceeded budget {self.budget}"
-                    )
+                budget.spend()
                 assignment[frozenset((u, v))] = label
                 for node in (u, v):
                     partials[node][label] += 1

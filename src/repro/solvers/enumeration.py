@@ -15,7 +15,9 @@ import networkx as nx
 
 from repro.formalism.configurations import Label
 from repro.formalism.problems import Problem
-from repro.solvers.csp import NodePredicate
+from repro.solvers.backends import make_solver
+from repro.solvers.budget import SolverBudget
+from repro.solvers.csp import DEFAULT_NODE_BUDGET, NodePredicate
 from repro.utils import SolverError
 
 
@@ -75,3 +77,41 @@ def brute_force_solvable(
     for _solution in brute_force_solutions(graph, problem, edge_limit=edge_limit):
         return True
     return False
+
+
+def canonical_labeling(labeling: dict[frozenset, Label]) -> tuple:
+    """An order-free fingerprint of one labeling (for set comparison)."""
+    return tuple(
+        sorted(
+            (tuple(sorted(map(str, edge))), label)
+            for edge, label in labeling.items()
+        )
+    )
+
+
+def solution_set(
+    graph: nx.Graph,
+    problem: Problem,
+    *,
+    backend: str | None = None,
+    white_active: NodePredicate | None = None,
+    black_active: NodePredicate | None = None,
+    budget: int | SolverBudget = DEFAULT_NODE_BUDGET,
+) -> list[tuple]:
+    """The complete solution set as sorted canonical fingerprints.
+
+    Backend-independent by contract: the ``sat`` backend re-expands its
+    symmetry-broken representatives before yielding, so this list is the
+    cross-backend comparison surface the differential oracle checks.
+    """
+    solver = make_solver(
+        graph,
+        problem,
+        backend=backend,
+        white_active=white_active,
+        black_active=black_active,
+        budget=budget,
+    )
+    return sorted(
+        canonical_labeling(labeling) for labeling in solver.iter_solutions()
+    )

@@ -18,27 +18,39 @@ from repro.core.lift import LiftedProblem, lift
 from repro.formalism.configurations import Label
 from repro.formalism.problems import Problem
 from repro.graphs.hypergraphs import Hypergraph
-from repro.solvers.csp import DEFAULT_NODE_BUDGET, EdgeLabelingCSP
+from repro.solvers.backends import make_solver
+from repro.solvers.budget import SolverBudget
+from repro.solvers.csp import DEFAULT_NODE_BUDGET
 
 
 def solve_bipartite(
-    graph: nx.Graph, problem: Problem, budget: int = DEFAULT_NODE_BUDGET
+    graph: nx.Graph,
+    problem: Problem,
+    budget: int | SolverBudget = DEFAULT_NODE_BUDGET,
+    *,
+    backend: str | None = None,
 ) -> dict[frozenset, Label] | None:
     """A bipartite solution of Π on a 2-colored graph, or None (complete)."""
-    return EdgeLabelingCSP(graph, problem, budget=budget).solve()
+    return make_solver(graph, problem, backend=backend, budget=budget).solve()
 
 
 def bipartite_solvable(
-    graph: nx.Graph, problem: Problem, budget: int = DEFAULT_NODE_BUDGET
+    graph: nx.Graph,
+    problem: Problem,
+    budget: int | SolverBudget = DEFAULT_NODE_BUDGET,
+    *,
+    backend: str | None = None,
 ) -> bool:
     """Does Π admit a bipartite solution on the 2-colored graph?"""
-    return solve_bipartite(graph, problem, budget=budget) is not None
+    return solve_bipartite(graph, problem, budget=budget, backend=backend) is not None
 
 
 def solve_non_bipartite(
     hypergraph: Hypergraph | nx.Graph,
     problem: Problem,
-    budget: int = DEFAULT_NODE_BUDGET,
+    budget: int | SolverBudget = DEFAULT_NODE_BUDGET,
+    *,
+    backend: str | None = None,
 ) -> dict[frozenset, Label] | None:
     """A non-bipartite solution: solve Π on the incidence graph (paper §2).
 
@@ -49,23 +61,30 @@ def solve_non_bipartite(
     if isinstance(hypergraph, nx.Graph):
         hypergraph = Hypergraph.from_graph(hypergraph)
     incidence = hypergraph.incidence_graph()
-    return solve_bipartite(incidence, problem, budget=budget)
+    return solve_bipartite(incidence, problem, budget=budget, backend=backend)
 
 
 def non_bipartite_solvable(
     hypergraph: Hypergraph | nx.Graph,
     problem: Problem,
-    budget: int = DEFAULT_NODE_BUDGET,
+    budget: int | SolverBudget = DEFAULT_NODE_BUDGET,
+    *,
+    backend: str | None = None,
 ) -> bool:
     """Does Π admit a non-bipartite solution on the hypergraph?"""
-    return solve_non_bipartite(hypergraph, problem, budget=budget) is not None
+    return (
+        solve_non_bipartite(hypergraph, problem, budget=budget, backend=backend)
+        is not None
+    )
 
 
 def solve_s_solution(
     graph: nx.Graph,
     problem: Problem,
     s_nodes: set,
-    budget: int = DEFAULT_NODE_BUDGET,
+    budget: int | SolverBudget = DEFAULT_NODE_BUDGET,
+    *,
+    backend: str | None = None,
 ) -> dict[frozenset, Label] | None:
     """An S-solution of Π on a plain graph (Definition 5.6).
 
@@ -83,9 +102,10 @@ def solve_s_solution(
     def black_active(node) -> bool:
         return edge_members[node] <= s_nodes
 
-    return EdgeLabelingCSP(
+    return make_solver(
         incidence,
         problem,
+        backend=backend,
         white_active=white_active,
         black_active=black_active,
         budget=budget,
@@ -97,7 +117,9 @@ def lift_solvable_bipartite(
     base_problem: Problem,
     delta: int,
     rank: int,
-    budget: int = DEFAULT_NODE_BUDGET,
+    budget: int | SolverBudget = DEFAULT_NODE_BUDGET,
+    *,
+    backend: str | None = None,
 ) -> tuple[bool, dict[frozenset, Label] | None, LiftedProblem]:
     """Decide whether lift_{Δ,r}(Π) has a bipartite solution on the graph.
 
@@ -106,7 +128,7 @@ def lift_solvable_bipartite(
     """
     lifted = lift(base_problem, delta, rank)
     explicit = lifted.to_problem()
-    solution = solve_bipartite(graph, explicit, budget=budget)
+    solution = solve_bipartite(graph, explicit, budget=budget, backend=backend)
     return solution is not None, solution, lifted
 
 
@@ -115,7 +137,9 @@ def lift_solvable_non_bipartite(
     base_problem: Problem,
     delta: int,
     rank: int,
-    budget: int = DEFAULT_NODE_BUDGET,
+    budget: int | SolverBudget = DEFAULT_NODE_BUDGET,
+    *,
+    backend: str | None = None,
 ) -> tuple[bool, dict[frozenset, Label] | None, LiftedProblem]:
     """Decide lift solvability on a hypergraph (Corollary 3.3 / 3.5)."""
     if isinstance(hypergraph, nx.Graph):
@@ -123,5 +147,5 @@ def lift_solvable_non_bipartite(
     lifted = lift(base_problem, delta, rank)
     explicit = lifted.to_problem()
     incidence = hypergraph.incidence_graph()
-    solution = solve_bipartite(incidence, explicit, budget=budget)
+    solution = solve_bipartite(incidence, explicit, budget=budget, backend=backend)
     return solution is not None, solution, lifted

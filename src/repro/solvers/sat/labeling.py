@@ -1,0 +1,161 @@
+"""The SAT backend's public face: an :class:`EdgeLabelingCSP` drop-in.
+
+:class:`SatLabelingSolver` exposes the same ``solve`` /
+``iter_solutions`` / ``count_solutions`` surface as the CSP backend and
+answers identically by construction:
+
+* **solve** — a model of the encoding decodes to a valid labeling; an
+  UNSAT answer is complete because symmetry breaking keeps the
+  lex-minimal member of every solution orbit, and it carries a RUP proof
+  (:meth:`certify_unsat`) checkable with an independent propagator.
+* **enumeration** — blocking clauses over the selector variables yield
+  one lex-leader representative per orbit; each is re-expanded along the
+  full automorphism group (:func:`expand_orbit`) with deduplication, so
+  yields and counts match ``EdgeLabelingCSP.count_solutions`` exactly.
+
+Budget semantics mirror the CSP backend: a plain int is a fresh
+per-call limit, a shared :class:`~repro.solvers.budget.SolverBudget`
+meters encoding and search cumulatively.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+import networkx as nx
+
+from repro.formalism.configurations import Label
+from repro.formalism.problems import Problem
+from repro.solvers.budget import SolverBudget
+from repro.solvers.csp import EdgeLabelingCSP
+from repro.solvers.sat.encode import LabelingEncoding, encode_csp
+from repro.solvers.sat.solver import (
+    DEFAULT_PROPAGATION_BUDGET,
+    SAT_BUDGET_UNIT,
+    CdclSolver,
+    check_rup_proof,
+)
+
+NodePredicate = Callable[[object], bool]
+
+
+def expand_orbit(
+    labeling: dict[frozenset, Label],
+    automorphisms: list[dict[Label, Label]],
+) -> list[dict[frozenset, Label]]:
+    """Every image of a labeling under the automorphism group, deduplicated.
+
+    π maps solutions to solutions (it preserves both constraints and the
+    activity predicates never mention labels), so re-expanding each
+    lex-leader representative reconstructs its full orbit — the step that
+    makes symmetry-broken enumeration agree with the CSP's counts.
+    """
+    seen: set[tuple] = set()
+    expanded: list[dict[frozenset, Label]] = []
+    edges = sorted(labeling, key=lambda edge: sorted(map(str, edge)))
+    for pi in automorphisms:
+        image = {edge: pi[label] for edge, label in labeling.items()}
+        key = tuple(image[edge] for edge in edges)
+        if key not in seen:
+            seen.add(key)
+            expanded.append(image)
+    return expanded
+
+
+class SatLabelingSolver:
+    """CDCL-backed edge labeling with lex-leader symmetry breaking."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        problem: Problem,
+        white_active: NodePredicate | None = None,
+        black_active: NodePredicate | None = None,
+        budget: int | SolverBudget = DEFAULT_PROPAGATION_BUDGET,
+        *,
+        symmetry_breaking: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.problem = problem
+        self.budget = budget
+        # The CSP instance does the validation (2-coloring, activity
+        # defaults) and fixes the BFS edge order the encoding inherits.
+        self._csp = EdgeLabelingCSP(
+            graph,
+            problem,
+            white_active=white_active,
+            black_active=black_active,
+        )
+        self.encoding: LabelingEncoding = encode_csp(
+            self._csp,
+            symmetry_breaking=symmetry_breaking,
+            budget=self._call_budget(),
+        )
+        self._last_solver: CdclSolver | None = None
+
+    def _call_budget(self) -> SolverBudget:
+        """Fresh per call for int budgets, shared for SolverBudget ones."""
+        if isinstance(self.budget, SolverBudget):
+            return self.budget
+        return SolverBudget(self.budget, unit=SAT_BUDGET_UNIT)
+
+    def _fresh_solver(self, budget: SolverBudget) -> CdclSolver:
+        return CdclSolver(
+            self.encoding.formula,
+            budget=budget,
+            seed=self.encoding.formula.digest(),
+        )
+
+    def solve(self) -> dict[frozenset, Label] | None:
+        """One labeling, or None — complete, like the CSP backend."""
+        solver = self._fresh_solver(self._call_budget())
+        self._last_solver = solver
+        if solver.solve():
+            return self.encoding.decode(solver.model())
+        return None
+
+    def iter_solutions(self) -> Iterator[dict[frozenset, Label]]:
+        """Every labeling: blocking-clause enumeration + orbit expansion."""
+        budget = self._call_budget()
+        solver = self._fresh_solver(budget)
+        self._last_solver = solver
+        yielded: set[tuple] = set()
+        while solver.solve():
+            model = solver.model()
+            representative = self.encoding.decode(model)
+            for image in expand_orbit(
+                representative, self.encoding.automorphisms
+            ):
+                edges = sorted(image, key=lambda edge: sorted(map(str, edge)))
+                key = tuple(image[edge] for edge in edges)
+                if key not in yielded:
+                    yielded.add(key)
+                    yield image
+            solver.add_clause(self.encoding.blocking_clause(model))
+
+    def count_solutions(self) -> int:
+        return sum(1 for _ in self.iter_solutions())
+
+    def certify_unsat(self) -> bool:
+        """RUP-check the proof of the last unsatisfiable ``solve()``.
+
+        The certificate is relative to the encoded formula (including
+        symmetry-breaking clauses, which are solution-preserving for
+        existence); only valid before enumeration adds blocking clauses.
+        """
+        solver = self._last_solver
+        if solver is None:
+            raise RuntimeError("certify_unsat() requires a prior solve()")
+        return check_rup_proof(self.encoding.formula, solver.proof)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Search counters of the most recent solve (for benchmarks)."""
+        solver = self._last_solver
+        if solver is None:
+            return {"decisions": 0, "conflicts": 0, "propagations": 0}
+        return {
+            "decisions": solver.decisions,
+            "conflicts": solver.conflicts,
+            "propagations": solver.budget.spent,
+        }

@@ -1,0 +1,418 @@
+"""Pure-python CDCL with a deterministic, budgeted search.
+
+Classic architecture — two-watched literals, 1-UIP conflict analysis,
+VSIDS-style activity decay, Luby restarts, phase saving — with two
+repo-specific contracts on top:
+
+* **Determinism.**  Every data structure is index-ordered; the only
+  "randomness" is a 64-bit LCG jitter on initial activities seeded from
+  the encoding digest, so identical CNF yields an identical search
+  trace, and tie-breaks fall back to the smallest variable index.
+* **Budget.**  Each assignment made during search spends one unit of the
+  shared :class:`~repro.solvers.budget.SolverBudget` (unit
+  ``"propagations"``); crossing the limit raises ``SolverLimitError``
+  mid-search instead of returning a truncated verdict.
+
+UNSAT answers carry a RUP (reverse unit propagation) proof — the learned
+clauses in derivation order plus the final empty clause — checkable by
+:func:`check_rup_proof` with an independent, naive unit propagator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from heapq import heappop, heappush
+
+from repro.solvers.budget import SolverBudget
+from repro.solvers.sat.cnf import Clause, CnfFormula
+from repro.utils import SolverError
+
+SAT_BUDGET_UNIT = "propagations"
+
+DEFAULT_PROPAGATION_BUDGET = 5_000_000
+
+_RESTART_BASE = 100
+_ACTIVITY_DECAY = 0.95
+_ACTIVITY_RESCALE = 1e100
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,... (1-indexed).
+
+    Invariant: i ≤ 2^k - 1.  Equality means i ends a full subsequence
+    (value 2^(k-1)); otherwise shrink k, subtracting the completed
+    subsequence of length 2^k - 1 only when i lies beyond it.
+    """
+    k = 1
+    while (1 << k) - 1 < i:
+        k += 1
+    while (1 << k) - 1 != i:
+        k -= 1
+        if (1 << k) - 1 < i:
+            i -= (1 << k) - 1
+    return 1 << (k - 1)
+
+
+def _seed_to_int(seed: int | str | None) -> int:
+    if seed is None:
+        return 0
+    if isinstance(seed, int):
+        return seed & ((1 << 64) - 1)
+    digest = hashlib.sha256(seed.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class CdclSolver:
+    """Conflict-driven clause learning over a :class:`CnfFormula`.
+
+    ``solve()`` may be called repeatedly with clauses added in between
+    (:meth:`add_clause` backtracks to the root level first), which is how
+    enumeration via blocking clauses works.
+    """
+
+    def __init__(
+        self,
+        formula: CnfFormula,
+        *,
+        budget: int | SolverBudget = DEFAULT_PROPAGATION_BUDGET,
+        seed: int | str | None = None,
+    ) -> None:
+        self.num_vars = formula.num_vars
+        self.budget = SolverBudget.coerce(budget, SAT_BUDGET_UNIT)
+        self._clauses: list[list[int]] = []
+        self._watches: dict[int, list[int]] = {}
+        self._units: list[int] = []
+        self._unsat = formula.has_empty_clause
+        self.proof: list[Clause] = [()] if self._unsat else []
+
+        n = self.num_vars
+        self._assign = [0] * (n + 1)
+        self._level = [0] * (n + 1)
+        self._reason = [-1] * (n + 1)
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._qhead = 0
+        self._phase = [False] * (n + 1)
+
+        # Deterministic activity jitter: a fixed-width LCG walk over the
+        # seed breaks activity ties differently per encoding digest while
+        # keeping the whole search reproducible.
+        state = _seed_to_int(seed)
+        self._activity = [0.0] * (n + 1)
+        for var in range(1, n + 1):
+            state = (state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+            self._activity[var] = (state >> 40) * 1e-12
+        self._var_inc = 1.0
+        self._heap: list[tuple[float, int]] = []
+        for var in range(1, n + 1):
+            heappush(self._heap, (-self._activity[var], var))
+
+        self.decisions = 0
+        self.conflicts = 0
+        self.restarts = 0
+        self.learned = 0
+
+        for clause in formula.clauses:
+            self._attach(list(clause))
+
+    # ------------------------------------------------------------------
+    # clause plumbing
+
+    def _attach(self, clause: list[int]) -> None:
+        if not clause:
+            self._unsat = True
+            if not self.proof or self.proof[-1] != ():
+                self.proof.append(())
+            return
+        if len(clause) == 1:
+            self._units.append(clause[0])
+            return
+        index = len(self._clauses)
+        self._clauses.append(clause)
+        self._watches.setdefault(clause[0], []).append(index)
+        self._watches.setdefault(clause[1], []).append(index)
+
+    def add_clause(self, literals) -> None:
+        """Add a clause between ``solve()`` calls (backtracks to root)."""
+        self._backtrack(0)
+        clause = []
+        seen = set()
+        for lit in literals:
+            if abs(lit) > self.num_vars:
+                raise SolverError(
+                    f"literal {lit} out of range for {self.num_vars} variables"
+                )
+            if -lit in seen:
+                return  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        self._attach(clause)
+
+    # ------------------------------------------------------------------
+    # assignment plumbing
+
+    def _value(self, lit: int) -> int:
+        value = self._assign[abs(lit)]
+        return value if lit > 0 else -value
+
+    def _enqueue(self, lit: int, reason: int) -> None:
+        self.budget.spend()
+        var = abs(lit)
+        self._assign[var] = 1 if lit > 0 else -1
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._phase[var] = lit > 0
+        self._trail.append(lit)
+
+    def _backtrack(self, target_level: int) -> None:
+        if len(self._trail_lim) <= target_level:
+            return
+        mark = self._trail_lim[target_level]
+        for lit in reversed(self._trail[mark:]):
+            var = abs(lit)
+            self._assign[var] = 0
+            self._reason[var] = -1
+            heappush(self._heap, (-self._activity[var], var))
+        del self._trail[mark:]
+        del self._trail_lim[target_level:]
+        self._qhead = min(self._qhead, mark)
+
+    def _propagate(self) -> list[int] | None:
+        """Exhaust unit propagation; return a conflicting clause or None."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            falsified = -lit
+            watching = self._watches.get(falsified)
+            if not watching:
+                continue
+            kept: list[int] = []
+            conflict: list[int] | None = None
+            for position, index in enumerate(watching):
+                clause = self._clauses[index]
+                # Normalize: the falsified literal sits at clause[1].
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    kept.append(index)
+                    continue
+                moved = False
+                for slot in range(2, len(clause)):
+                    if self._value(clause[slot]) != -1:
+                        clause[1], clause[slot] = clause[slot], clause[1]
+                        self._watches.setdefault(clause[1], []).append(index)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                kept.append(index)
+                if self._value(first) == -1:
+                    conflict = clause
+                    kept.extend(watching[position + 1 :])
+                    break
+                self._enqueue(first, index)
+            self._watches[falsified] = kept
+            if conflict is not None:
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    # conflict analysis
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > _ACTIVITY_RESCALE:
+            for index in range(1, self.num_vars + 1):
+                self._activity[index] *= 1e-100
+            self._var_inc *= 1e-100
+        if self._assign[var] == 0:
+            heappush(self._heap, (-self._activity[var], var))
+
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """1-UIP learning: returns (learned clause, backjump level)."""
+        current_level = len(self._trail_lim)
+        learned: list[int] = [0]  # slot 0 holds the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = None
+        index = len(self._trail)
+        reason = conflict
+        while True:
+            for clause_lit in reason:
+                var = abs(clause_lit)
+                if clause_lit == lit or seen[var] or self._level[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump(var)
+                if self._level[var] == current_level:
+                    counter += 1
+                else:
+                    learned.append(clause_lit)
+            while True:
+                index -= 1
+                trail_lit = self._trail[index]
+                if seen[abs(trail_lit)]:
+                    break
+            lit = -trail_lit
+            seen[abs(trail_lit)] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason_index = self._reason[abs(trail_lit)]
+            reason = [l for l in self._clauses[reason_index] if l != trail_lit]
+        learned[0] = lit
+        if len(learned) == 1:
+            return learned, 0
+        # Backjump to the second-highest decision level in the clause,
+        # keeping that literal in the watch slot 1.
+        best = 1
+        for slot in range(2, len(learned)):
+            if self._level[abs(learned[slot])] > self._level[abs(learned[best])]:
+                best = slot
+        learned[1], learned[best] = learned[best], learned[1]
+        return learned, self._level[abs(learned[1])]
+
+    # ------------------------------------------------------------------
+    # top level
+
+    def _decide(self) -> bool:
+        while self._heap:
+            neg_activity, var = heappop(self._heap)
+            if self._assign[var] != 0:
+                continue
+            if -neg_activity != self._activity[var]:
+                # Stale entry: re-push with the fresh activity and retry.
+                heappush(self._heap, (-self._activity[var], var))
+                continue
+            self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            lit = var if self._phase[var] else -var
+            self._enqueue(lit, -1)
+            return True
+        return False
+
+    def _root_units(self) -> bool:
+        """(Re-)assert unit clauses at level 0; False on contradiction."""
+        for lit in self._units:
+            value = self._value(lit)
+            if value == -1:
+                self.proof.append(())
+                self._unsat = True
+                return False
+            if value == 0:
+                self._enqueue(lit, -1)
+        return True
+
+    def solve(self) -> bool:
+        """Decide satisfiability; model() is valid after a True result."""
+        if self._unsat:
+            return False
+        self._backtrack(0)
+        if not self._root_units():
+            return False
+        # Re-propagate the whole trail: clauses added since the last call
+        # may be falsified or unit under the existing level-0 assignment.
+        self._qhead = 0
+        conflicts_until_restart = _RESTART_BASE * _luby(self.restarts + 1)
+        conflicts_here = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_here += 1
+                if not self._trail_lim:
+                    self.proof.append(())
+                    self._unsat = True
+                    return False
+                learned, backjump_level = self._analyze(conflict)
+                self.proof.append(tuple(learned))
+                self.learned += 1
+                self._backtrack(backjump_level)
+                if len(learned) == 1:
+                    self._units.append(learned[0])
+                    self._enqueue(learned[0], -1)
+                else:
+                    index = len(self._clauses)
+                    self._clauses.append(learned)
+                    self._watches.setdefault(learned[0], []).append(index)
+                    self._watches.setdefault(learned[1], []).append(index)
+                    self._enqueue(learned[0], index)
+                self._var_inc /= _ACTIVITY_DECAY
+                continue
+            if conflicts_here >= conflicts_until_restart:
+                self.restarts += 1
+                conflicts_here = 0
+                conflicts_until_restart = _RESTART_BASE * _luby(self.restarts + 1)
+                self._backtrack(0)
+                continue
+            if not self._decide():
+                return True
+
+    def model(self) -> dict[int, bool]:
+        """The satisfying assignment of the last True ``solve()``."""
+        return {
+            var: self._assign[var] == 1 for var in range(1, self.num_vars + 1)
+        }
+
+
+# ----------------------------------------------------------------------
+# independent proof checking
+
+
+def _unit_propagate_to_conflict(clauses: list[Clause], assumed: set[int]) -> bool:
+    """Naive UP: True iff the assumption set propagates to a conflict.
+
+    Deliberately shares nothing with :class:`CdclSolver` — O(n·m) scans,
+    no watches — so a bug in the solver's propagation cannot hide in its
+    own certificate check.
+    """
+    assignment = dict()
+    for lit in assumed:
+        if assignment.get(abs(lit), lit > 0) != (lit > 0):
+            return True
+        assignment[abs(lit)] = lit > 0
+    changed = True
+    while changed:
+        changed = False
+        for clause in clauses:
+            unassigned = None
+            satisfied = False
+            count = 0
+            for lit in clause:
+                value = assignment.get(abs(lit))
+                if value is None:
+                    unassigned = lit
+                    count += 1
+                elif value == (lit > 0):
+                    satisfied = True
+                    break
+            if satisfied:
+                continue
+            if count == 0:
+                return True
+            if count == 1:
+                assignment[abs(unassigned)] = unassigned > 0
+                changed = True
+    return False
+
+
+def check_rup_proof(formula: CnfFormula, proof: list[Clause]) -> bool:
+    """Verify an UNSAT proof by reverse unit propagation.
+
+    Each proof clause must be a RUP consequence of the original formula
+    plus the earlier proof clauses, and the proof must end with the empty
+    clause.
+    """
+    if not proof or proof[-1] != ():
+        return False
+    known: list[Clause] = list(formula.clauses)
+    for clause in proof:
+        assumed = {-lit for lit in clause}
+        if len(assumed) != len(clause):
+            return False  # clause repeats a literal; not produced by CDCL
+        if not _unit_propagate_to_conflict(known, assumed):
+            return False
+        known.append(clause)
+    return True

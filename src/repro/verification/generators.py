@@ -140,6 +140,109 @@ def build_colored_graph(params: dict) -> nx.Graph:
 
 
 # ---------------------------------------------------------------------------
+# SAT-vs-CSP backend cases (graph × problem × activity / lift shapes)
+
+
+def _random_incidence_graph(rng: random.Random) -> dict:
+    """The 2-colored incidence graph of a small random hypergraph.
+
+    White nodes are vertices, black nodes are hyperedges, an edge means
+    membership — the instance shape Definition 5.6's S-solutions live
+    on, with black degree equal to the hyperedge rank.
+    """
+    vertices = rng.randint(2, 4)
+    hyperedges = rng.randint(1, 3)
+    nodes = [[f"x{i}", "white"] for i in range(vertices)] + [
+        [f"e{j}", "black"] for j in range(hyperedges)
+    ]
+    edges = []
+    for j in range(hyperedges):
+        rank = rng.randint(1, min(3, vertices))
+        for i in sorted(rng.sample(range(vertices), rank)):
+            edges.append([f"x{i}", f"e{j}"])
+    return {"kind": "incidence", "nodes": nodes, "edges": sorted(edges)}
+
+
+def random_sat_case_params(rng: random.Random) -> dict:
+    """A random SAT-vs-CSP differential case.
+
+    Four kinds cover the backend contract's surface: plain bipartite
+    instances, S-solutions (random activity subsets), hypergraph
+    incidence graphs, and lifted problems on their smallest biregular
+    support (the Theorem 3.2 gate's instance shape).
+    """
+    kind = rng.choice(("bipartite", "s_solution", "hypergraph", "lift"))
+    if kind == "bipartite":
+        return {
+            "kind": kind,
+            "graph": random_colored_graph_params(rng),
+            "problem": random_problem_params(rng),
+        }
+    if kind == "s_solution":
+        graph = random_colored_graph_params(rng)
+        whites = [name for name, color in graph["nodes"] if color == "white"]
+        blacks = [name for name, color in graph["nodes"] if color == "black"]
+        return {
+            "kind": kind,
+            "graph": graph,
+            "problem": random_problem_params(rng),
+            "white_active": sorted(
+                rng.sample(whites, rng.randint(0, len(whites)))
+            ),
+            "black_active": sorted(
+                rng.sample(blacks, rng.randint(0, len(blacks)))
+            ),
+        }
+    if kind == "hypergraph":
+        return {
+            "kind": kind,
+            "graph": _random_incidence_graph(rng),
+            "problem": random_problem_params(rng),
+        }
+    # "lift": small arities keep the set-label alphabet of the lifted
+    # problem tiny (≤ 3 labels, ≤ 4 support edges).
+    return {
+        "kind": "lift",
+        "problem": random_problem_params(
+            rng, max_alphabet=2, max_arity=2, max_configs=3
+        ),
+    }
+
+
+def build_sat_case(params: dict):
+    """Reconstruct ``(graph, problem, white_active, black_active)``.
+
+    Lift cases derive both the support (the smallest biregular graph of
+    the base problem's arities) and the lifted problem deterministically
+    from the stored base problem, so the case dict stays plain JSON.
+    """
+    if params["kind"] == "lift":
+        from repro.core.lift import lift
+
+        base = build_problem(params["problem"])
+        nodes = [[f"w{i}", "white"] for i in range(base.black_arity)] + [
+            [f"b{j}", "black"] for j in range(base.white_arity)
+        ]
+        edges = [
+            [f"w{i}", f"b{j}"]
+            for i in range(base.black_arity)
+            for j in range(base.white_arity)
+        ]
+        graph = build_colored_graph({"nodes": nodes, "edges": edges})
+        lifted = lift(base, base.white_arity, base.black_arity).to_problem()
+        return graph, lifted, None, None
+    graph = build_colored_graph(params["graph"])
+    problem = build_problem(params["problem"])
+    white_active = black_active = None
+    if params["kind"] == "s_solution":
+        whites = frozenset(params["white_active"])
+        blacks = frozenset(params["black_active"])
+        white_active = whites.__contains__
+        black_active = blacks.__contains__
+    return graph, problem, white_active, black_active
+
+
+# ---------------------------------------------------------------------------
 # Engine-parity runs (spec × algorithm × size × seed)
 
 

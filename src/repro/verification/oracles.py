@@ -21,6 +21,10 @@ oracle                  cross-checked implementations
                         and reference operator calls, including digest
                         invariance under renaming and budget-exhaustion
                         parity
+``sat``                 SAT backend vs CSP backend: existence agreement and
+                        exact solution-set equality on bipartite,
+                        S-solution, hypergraph-incidence and lifted
+                        instances, with UNSAT answers RUP-certified
 ======================  ====================================================
 
 Each oracle generates its own random cases (JSON-able dicts, see
@@ -40,8 +44,9 @@ from repro import api
 from repro.checkers import check_bipartite_solution
 from repro.local.supported import SupportedInstance, run_supported_view_algorithm
 from repro.roundelim import operators
+from repro.solvers.backends import make_solver
 from repro.solvers.csp import check_edge_labeling
-from repro.solvers.enumeration import brute_force_solvable
+from repro.solvers.enumeration import brute_force_solvable, solution_set
 from repro.solvers.existence import solve_bipartite
 from repro.utils import InvalidParameterError, LocalityViolationError, SolverLimitError
 from repro.utils.serialization import canonical_dumps, result_digest, to_jsonable
@@ -49,11 +54,13 @@ from repro.verification.generators import (
     MAX_SOLVER_EDGES,
     build_colored_graph,
     build_problem,
+    build_sat_case,
     build_support_graph,
     build_value,
     random_colored_graph_params,
     random_engine_case_params,
     random_problem_params,
+    random_sat_case_params,
     random_supported_instance_params,
     random_value_tree,
 )
@@ -280,6 +287,89 @@ class SolverOracle(Oracle):
                         if position != index
                     ]
                     yield {**params, "problem": {**problem, side: configs}}
+
+
+# ---------------------------------------------------------------------------
+# sat: SAT backend vs CSP backend (existence + exact solution sets)
+
+
+class SatOracle(Oracle):
+    name = "sat"
+    description = (
+        "SAT vs CSP solver backends: existence, solution sets, UNSAT proofs"
+    )
+
+    def generate(self, rng: random.Random) -> dict:
+        return random_sat_case_params(rng)
+
+    def check(self, params: dict) -> str | None:
+        graph, problem, white_active, black_active = build_sat_case(params)
+        sets = {
+            backend: solution_set(
+                graph,
+                problem,
+                backend=backend,
+                white_active=white_active,
+                black_active=black_active,
+            )
+            for backend in ("csp", "sat")
+        }
+        if sets["csp"] != sets["sat"]:
+            only_csp = len(set(sets["csp"]) - set(sets["sat"]))
+            only_sat = len(set(sets["sat"]) - set(sets["csp"]))
+            return (
+                f"solution sets differ on kind {params['kind']!r}: "
+                f"csp={len(sets['csp'])} sat={len(sets['sat'])} "
+                f"(csp-only={only_csp}, sat-only={only_sat})"
+            )
+        solver = make_solver(
+            graph,
+            problem,
+            backend="sat",
+            white_active=white_active,
+            black_active=black_active,
+        )
+        solution = solver.solve()
+        if (solution is not None) != bool(sets["csp"]):
+            verdict = "sat" if solution is not None else "unsat"
+            return (
+                f"SAT existence ({verdict}) disagrees with the enumerated "
+                f"solution count {len(sets['csp'])}"
+            )
+        if solution is None:
+            if not solver.certify_unsat():
+                return "UNSAT answer failed its RUP proof check"
+        elif white_active is None and black_active is None:
+            verdict = check_bipartite_solution(graph, problem, solution)
+            if not verdict:
+                return (
+                    f"SAT solution rejected by check_bipartite_solution: "
+                    f"{verdict.reason}"
+                )
+            if not check_edge_labeling(graph, problem, solution):
+                return "SAT solution rejected by check_edge_labeling"
+        return None
+
+    def shrink(self, params: dict) -> Iterator[dict]:
+        problem = params["problem"]
+        for side in ("white", "black"):
+            if len(problem[side]) > 1:
+                for index in range(len(problem[side])):
+                    configs = [
+                        config
+                        for position, config in enumerate(problem[side])
+                        if position != index
+                    ]
+                    yield {**params, "problem": {**problem, side: configs}}
+        graph = params.get("graph")
+        if graph:
+            for index in range(len(graph["edges"])):
+                edges = [
+                    edge
+                    for position, edge in enumerate(graph["edges"])
+                    if position != index
+                ]
+                yield {**params, "graph": {**graph, "edges": edges}}
 
 
 # ---------------------------------------------------------------------------
@@ -575,6 +665,7 @@ ORACLES: dict[str, Oracle] = {
         RoundElimOracle(),
         EngineParityOracle(),
         SolverOracle(),
+        SatOracle(),
         SerializationOracle(),
         ViewsOracle(),
         ExploreOracle(),

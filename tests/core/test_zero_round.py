@@ -15,6 +15,7 @@ import pytest
 from repro.core.lift import lift
 from repro.core.zero_round import (
     admissible_subgraphs,
+    zero_round_solvable,
     algorithm_from_lift_solution,
     check_lift_solution,
     evaluate_on_subgraph,
@@ -41,6 +42,12 @@ def c4():
     return mark_bipartition(cycle(4))
 
 
+@pytest.fixture(params=["csp", "sat"])
+def backend(request):
+    """Every lift-solving test runs through both solver backends."""
+    return request.param
+
+
 class TestAdmissibleSubgraphs:
     def test_degree_caps_respected(self, c4):
         for subgraph in admissible_subgraphs(c4, delta_prime=1, r_prime=2):
@@ -58,11 +65,11 @@ class TestAdmissibleSubgraphs:
 
 
 class TestTheorem32RoundTrip:
-    def test_matching_round_trip_on_c6(self, c6):
+    def test_matching_round_trip_on_c6(self, c6, backend):
         problem = maximal_matching_problem(2)
         lifted = lift(problem, 2, 2)
         explicit = lifted.to_problem()
-        solution = solve_bipartite(c6, explicit)
+        solution = solve_bipartite(c6, explicit, backend=backend)
         assert solution is not None
         decoded = {
             edge: set_label_members(label) for edge, label in solution.items()
@@ -75,11 +82,11 @@ class TestTheorem32RoundTrip:
         back = lift_solution_from_algorithm(algorithm, lifted)
         assert check_lift_solution(c6, lifted, back)
 
-    def test_algorithm_outputs_are_deterministic(self, c6):
+    def test_algorithm_outputs_are_deterministic(self, c6, backend):
         problem = maximal_matching_problem(2)
         lifted = lift(problem, 2, 2)
         explicit = lifted.to_problem()
-        solution = solve_bipartite(c6, explicit)
+        solution = solve_bipartite(c6, explicit, backend=backend)
         decoded = {
             edge: set_label_members(label) for edge, label in solution.items()
         }
@@ -94,15 +101,15 @@ class TestTheorem32RoundTrip:
 class TestTheorem32Independently:
     """Brute force over the algorithm space vs lift solvability."""
 
-    def test_solvable_side_on_c4(self, c4):
+    def test_solvable_side_on_c4(self, c4, backend):
         problem = maximal_matching_problem(2)
         lifted = lift(problem, 2, 2)
         explicit = lifted.to_problem()
-        lift_solvable = solve_bipartite(c4, explicit) is not None
+        lift_solvable = solve_bipartite(c4, explicit, backend=backend) is not None
         algorithm_exists = exists_zero_round_algorithm(c4, problem)
         assert lift_solvable == algorithm_exists
 
-    def test_unsolvable_side_forced_mismatch(self, c4):
+    def test_unsolvable_side_forced_mismatch(self, c4, backend):
         """White constraint forces M M while black needs M O: unsolvable
         by *any* algorithm; lift solvability and the brute force over the
         full algorithm space must both say no."""
@@ -111,28 +118,28 @@ class TestTheorem32Independently:
         problem = problem_from_lines(["M M"], ["M O"], name="forced-MM")
         lifted = lift(problem, 2, 2)
         explicit = lifted.to_problem()
-        lift_solvable = solve_bipartite(c4, explicit) is not None
+        lift_solvable = solve_bipartite(c4, explicit, backend=backend) is not None
         algorithm_exists = exists_zero_round_algorithm(c4, problem)
         assert lift_solvable == algorithm_exists
         assert not lift_solvable
 
-    def test_sinkless_orientation_on_c4(self, c4):
+    def test_sinkless_orientation_on_c4(self, c4, backend):
         """SO with Δ' = 2 = Δ: solvable 0-round (G is fully known)."""
         problem = sinkless_orientation_problem(2)
         lifted = lift(problem, 2, 2)
         explicit = lifted.to_problem()
-        lift_solvable = solve_bipartite(c4, explicit) is not None
+        lift_solvable = solve_bipartite(c4, explicit, backend=backend) is not None
         algorithm_exists = exists_zero_round_algorithm(c4, problem)
         assert lift_solvable == algorithm_exists
         assert lift_solvable  # cycles orient cyclically
 
 
 class TestEvaluation:
-    def test_evaluate_on_subgraph_labels_input_edges_only(self, c6):
+    def test_evaluate_on_subgraph_labels_input_edges_only(self, c6, backend):
         problem = maximal_matching_problem(2)
         lifted = lift(problem, 2, 2)
         explicit = lifted.to_problem()
-        solution = solve_bipartite(c6, explicit)
+        solution = solve_bipartite(c6, explicit, backend=backend)
         decoded = {
             edge: set_label_members(label) for edge, label in solution.items()
         }
@@ -141,3 +148,52 @@ class TestEvaluation:
         chosen = frozenset({frozenset(edges[0]), frozenset(edges[2])})
         labeling = evaluate_on_subgraph(algorithm, chosen)
         assert set(labeling) == set(chosen)
+
+
+class TestZeroRoundSolvableGate:
+    """The packaged Theorem 3.2 gate, including degenerate supports."""
+
+    def test_gate_matches_brute_force(self, c4, backend):
+        for problem in (
+            maximal_matching_problem(2),
+            sinkless_orientation_problem(2),
+        ):
+            gate = zero_round_solvable(c4, problem, backend=backend)
+            assert gate == exists_zero_round_algorithm(c4, problem)
+
+    def test_empty_white_class(self, backend):
+        # No white nodes at all: nothing to label, the empty labeling is
+        # vacuously a solution whatever the problem says.
+        graph = nx.Graph()
+        graph.add_node("b0", color="black")
+        graph.add_node("b1", color="black")
+        problem = maximal_matching_problem(2)
+        assert zero_round_solvable(graph, problem, backend=backend)
+
+    def test_empty_black_class(self, backend):
+        graph = nx.Graph()
+        graph.add_node("w0", color="white")
+        problem = maximal_matching_problem(2)
+        assert zero_round_solvable(graph, problem, backend=backend)
+
+    def test_unused_alphabet_labels_do_not_change_the_gate(self, c4, backend):
+        base = maximal_matching_problem(2)
+        padded = type(base)(
+            alphabet=base.alphabet | {"Z"},
+            white=base.white,
+            black=base.black,
+            name=base.name,
+        )
+        assert zero_round_solvable(c4, base, backend=backend) == \
+            zero_round_solvable(c4, padded, backend=backend)
+
+    @pytest.mark.parametrize("backend_name", ["csp", "sat"])
+    def test_budget_exhaustion_mid_enumeration(self, c6, backend_name):
+        from repro.solvers import make_solver
+        from repro.utils import SolverLimitError
+
+        problem = lift(maximal_matching_problem(2), 2, 2).to_problem()
+        with pytest.raises(SolverLimitError):
+            solver = make_solver(c6, problem, backend=backend_name, budget=40)
+            for _ in solver.iter_solutions():
+                pass

@@ -1,0 +1,108 @@
+"""The backend contract: csp and sat are observationally equivalent —
+same existence verdicts, same solution sets, same budget-exhaustion
+behavior — across every instance shape the repo produces."""
+
+import random
+
+import pytest
+
+from repro.graphs import cycle, mark_bipartition
+from repro.problems import maximal_matching_problem, pi_matching
+from repro.solvers import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    make_solver,
+    resolve_backend,
+    solution_set,
+)
+from repro.utils import InvalidParameterError
+from repro.verification.generators import build_sat_case, random_sat_case_params
+
+
+class TestRegistry:
+    def test_backends_and_default(self):
+        assert set(BACKENDS) == {"csp", "sat"}
+        assert DEFAULT_BACKEND == "csp"
+        assert resolve_backend(None) == "csp"
+        assert resolve_backend("sat") == "sat"
+        with pytest.raises(InvalidParameterError):
+            resolve_backend("z3")
+
+    def test_make_solver_rejects_unknown_backend(self):
+        graph = mark_bipartition(cycle(4))
+        with pytest.raises(InvalidParameterError):
+            make_solver(graph, maximal_matching_problem(2), backend="nope")
+
+
+class TestNamedInstances:
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_matching_solution_sets_agree(self, n):
+        graph = mark_bipartition(cycle(n))
+        problem = maximal_matching_problem(2)
+        assert solution_set(graph, problem, backend="csp") == solution_set(
+            graph, problem, backend="sat"
+        )
+
+    @pytest.mark.parametrize("x", [0, 1])
+    def test_pi_matching_family_agrees(self, x):
+        graph = mark_bipartition(cycle(6))
+        problem = pi_matching(2, x, 1)
+        csp = solution_set(graph, problem, backend="csp")
+        sat = solution_set(graph, problem, backend="sat")
+        assert csp == sat
+
+
+class TestSeededRandomInstances:
+    """A bounded in-tree slice of the ``sat`` differential oracle: all
+    four case kinds (bipartite, s_solution, hypergraph, lift), exact
+    solution-set equality.  CI's fuzz job runs the ≥200-case version."""
+
+    def test_40_seeded_cases(self):
+        rng = random.Random("backend-parity")
+        kinds = set()
+        for _ in range(40):
+            params = random_sat_case_params(rng)
+            kinds.add(params["kind"])
+            graph, problem, white_active, black_active = build_sat_case(params)
+            csp = solution_set(
+                graph,
+                problem,
+                backend="csp",
+                white_active=white_active,
+                black_active=black_active,
+            )
+            sat = solution_set(
+                graph,
+                problem,
+                backend="sat",
+                white_active=white_active,
+                black_active=black_active,
+            )
+            assert csp == sat, params
+            solver = make_solver(
+                graph,
+                problem,
+                backend="sat",
+                white_active=white_active,
+                black_active=black_active,
+            )
+            assert (solver.solve() is not None) == bool(csp), params
+        assert kinds == {"bipartite", "s_solution", "hypergraph", "lift"}
+
+    def test_unsat_answers_carry_checkable_proofs(self):
+        rng = random.Random("unsat-proofs")
+        certified = 0
+        for _ in range(60):
+            params = random_sat_case_params(rng)
+            graph, problem, white_active, black_active = build_sat_case(params)
+            solver = make_solver(
+                graph,
+                problem,
+                backend="sat",
+                white_active=white_active,
+                black_active=black_active,
+            )
+            if solver.solve() is None:
+                assert solver.certify_unsat(), params
+                certified += 1
+        assert certified > 0  # the sample must actually contain unsat cases

@@ -1,0 +1,100 @@
+"""Clause database: canonical ordering, DIMACS round trips, digests."""
+
+import pytest
+
+from repro.solvers.sat.cnf import CnfFormula, parse_dimacs
+from repro.utils import InvalidParameterError
+
+
+class TestInterning:
+    def test_vars_are_one_based_and_stable(self):
+        formula = CnfFormula()
+        x = formula.var(("x", 0, 0))
+        y = formula.var(("x", 0, 1))
+        assert (x, y) == (1, 2)
+        assert formula.var(("x", 0, 0)) == x  # re-intern is a lookup
+        assert formula.key_of(x) == ("x", 0, 0)
+
+    def test_clause_literals_must_name_interned_vars(self):
+        formula = CnfFormula()
+        formula.var("a")
+        with pytest.raises(InvalidParameterError):
+            formula.add_clause([2])
+        with pytest.raises(InvalidParameterError):
+            formula.add_clause([0])
+
+
+class TestCanonicalForm:
+    def test_clause_canonicalization_sorts_and_dedups(self):
+        formula = CnfFormula()
+        a, b = formula.var("a"), formula.var("b")
+        formula.add_clause([-b, a, a])
+        assert formula.canonical_clauses() == [(a, -b)]
+
+    def test_tautologies_are_dropped(self):
+        formula = CnfFormula()
+        a = formula.var("a")
+        formula.add_clause([a, -a])
+        assert formula.canonical_clauses() == []
+        assert not formula.has_empty_clause
+
+    def test_duplicate_clauses_collapse(self):
+        formula = CnfFormula()
+        a, b = formula.var("a"), formula.var("b")
+        formula.add_clause([a, b])
+        formula.add_clause([b, a])
+        assert len(formula.canonical_clauses()) == 1
+
+    def test_empty_clause_is_recorded(self):
+        formula = CnfFormula()
+        formula.add_clause([])
+        assert formula.has_empty_clause
+
+    def test_digest_ignores_insertion_order(self):
+        first = CnfFormula()
+        a, b = first.var("a"), first.var("b")
+        first.add_clause([a, b])
+        first.add_clause([-a])
+        second = CnfFormula()
+        a2, b2 = second.var("a"), second.var("b")
+        second.add_clause([-a2])
+        second.add_clause([b2, a2])
+        assert first.digest() == second.digest()
+
+    def test_digest_sees_clause_changes(self):
+        first = CnfFormula()
+        first.add_clause([first.var("a")])
+        second = CnfFormula()
+        second.add_clause([-second.var("a")])
+        assert first.digest() != second.digest()
+
+
+class TestDimacs:
+    def test_round_trip_preserves_digest(self):
+        formula = CnfFormula()
+        a, b, c = (formula.var(("k", i)) for i in range(3))
+        formula.add_clause([a, -b])
+        formula.add_clause([b, c])
+        formula.add_clause([-a, -c])
+        parsed = parse_dimacs(formula.to_dimacs())
+        assert parsed.digest() == formula.digest()
+
+    def test_export_is_byte_deterministic(self):
+        def build():
+            formula = CnfFormula()
+            x, y = formula.var("x"), formula.var("y")
+            formula.add_clause([y, x])
+            formula.add_clause([-x])
+            return formula.to_dimacs(comments=("note",))
+
+        assert build() == build()
+
+    def test_header_var_count_is_honored(self):
+        parsed = parse_dimacs("p cnf 4 1\n1 -2 0\n")
+        assert parsed.num_vars == 4
+
+    def test_comments_do_not_change_digest(self):
+        formula = CnfFormula()
+        formula.add_clause([formula.var("a")])
+        with_comment = parse_dimacs(formula.to_dimacs(comments=("hello",)))
+        assert with_comment.digest() == formula.digest()

@@ -1,0 +1,176 @@
+"""CDCL solver: agreement with brute force, determinism, proofs, budgets."""
+
+import random
+from itertools import product
+
+import pytest
+
+from repro.solvers.budget import SolverBudget
+from repro.solvers.sat.cnf import CnfFormula
+from repro.solvers.sat.solver import (
+    SAT_BUDGET_UNIT,
+    CdclSolver,
+    check_rup_proof,
+    _luby,
+)
+from repro.utils import SolverLimitError
+
+
+def brute_force(num_vars: int, clauses) -> list[dict[int, bool]]:
+    models = []
+    for bits in product((False, True), repeat=num_vars):
+        assignment = {var: bits[var - 1] for var in range(1, num_vars + 1)}
+        if all(
+            any(assignment[abs(lit)] == (lit > 0) for lit in clause)
+            for clause in clauses
+        ):
+            models.append(assignment)
+    return models
+
+
+def random_formula(rng: random.Random) -> tuple[CnfFormula, int, list]:
+    num_vars = rng.randint(1, 6)
+    formula = CnfFormula()
+    for var in range(num_vars):
+        formula.var(("v", var))
+    clauses = []
+    for _ in range(rng.randint(1, 14)):
+        width = rng.randint(1, 3)
+        clause = sorted(
+            {
+                rng.choice((1, -1)) * rng.randint(1, num_vars)
+                for _ in range(width)
+            }
+        )
+        clauses.append(clause)
+        formula.add_clause(clause)
+    return formula, num_vars, clauses
+
+
+class TestAgreementWithBruteForce:
+    def test_200_random_formulas(self):
+        rng = random.Random(0xC0FFEE)
+        for trial in range(200):
+            formula, num_vars, clauses = random_formula(rng)
+            solver = CdclSolver(formula, seed=trial)
+            expected = brute_force(num_vars, clauses)
+            if solver.solve():
+                model = solver.model()
+                assert expected, f"trial {trial}: solver sat, brute force unsat"
+                assert all(
+                    any(model[abs(lit)] == (lit > 0) for lit in clause)
+                    for clause in clauses
+                ), f"trial {trial}: model violates a clause"
+            else:
+                assert not expected, (
+                    f"trial {trial}: solver unsat, brute force found a model"
+                )
+                assert check_rup_proof(formula, solver.proof), (
+                    f"trial {trial}: RUP proof rejected"
+                )
+
+    def test_enumeration_matches_model_sets(self):
+        rng = random.Random(0xBEEF)
+        for trial in range(60):
+            formula, num_vars, clauses = random_formula(rng)
+            expected = {
+                tuple(sorted(model.items()))
+                for model in brute_force(num_vars, clauses)
+            }
+            solver = CdclSolver(formula, seed=trial)
+            found = set()
+            while solver.solve():
+                model = solver.model()
+                key = tuple(sorted(model.items()))
+                assert key not in found, f"trial {trial}: repeated model"
+                found.add(key)
+                solver.add_clause(
+                    [(-var if value else var) for var, value in model.items()]
+                )
+            assert found == expected, f"trial {trial}"
+
+
+class TestDeterminism:
+    def test_same_seed_same_search(self):
+        rng = random.Random(7)
+        formula, _n, _clauses = random_formula(rng)
+        runs = []
+        for _ in range(2):
+            solver = CdclSolver(formula, seed="fixed")
+            result = solver.solve()
+            runs.append(
+                (result, solver.decisions, solver.conflicts, solver.proof)
+            )
+        assert runs[0] == runs[1]
+
+    def test_string_and_int_seeds_accepted(self):
+        formula = CnfFormula()
+        formula.add_clause([formula.var("a")])
+        assert CdclSolver(formula, seed="abc").solve()
+        assert CdclSolver(formula, seed=123).solve()
+
+
+class TestEdgeCases:
+    def test_empty_formula_is_sat(self):
+        solver = CdclSolver(CnfFormula(), seed=0)
+        assert solver.solve()
+        assert solver.model() == {}
+
+    def test_empty_clause_is_certifiably_unsat(self):
+        formula = CnfFormula()
+        formula.var("a")
+        formula.add_clause([])
+        solver = CdclSolver(formula, seed=0)
+        assert not solver.solve()
+        assert check_rup_proof(formula, solver.proof)
+
+    def test_incremental_blocking_after_forced_model(self):
+        # All variables forced at level 0: the blocking clause must still
+        # be noticed by the next solve() (regression for the qhead reset).
+        formula = CnfFormula()
+        a, b = formula.var("a"), formula.var("b")
+        formula.add_clause([a])
+        formula.add_clause([-a, b])
+        solver = CdclSolver(formula, seed=0)
+        assert solver.solve()
+        model = solver.model()
+        assert model == {a: True, b: True}
+        solver.add_clause([(-var if value else var) for var, value in model.items()])
+        assert not solver.solve()
+
+    def test_propagation_budget_exhausts(self):
+        formula = CnfFormula()
+        variables = [formula.var(("q", i)) for i in range(12)]
+        for first in range(len(variables)):
+            for second in range(first + 1, len(variables)):
+                formula.add_clause([-variables[first], -variables[second]])
+        formula.add_clause(variables)
+        with pytest.raises(SolverLimitError, match=SAT_BUDGET_UNIT):
+            CdclSolver(formula, budget=2, seed=0).solve()
+
+    def test_shared_budget_instance_is_honored(self):
+        formula = CnfFormula()
+        formula.add_clause([formula.var("a")])
+        shared = SolverBudget(1_000, unit=SAT_BUDGET_UNIT)
+        solver = CdclSolver(formula, budget=shared, seed=0)
+        assert solver.solve()
+        assert shared.spent > 0
+
+
+class TestRupChecker:
+    def test_rejects_a_bogus_proof(self):
+        formula = CnfFormula()
+        a, b = formula.var("a"), formula.var("b")
+        formula.add_clause([a, b])
+        assert not check_rup_proof(formula, [()])
+
+    def test_requires_a_final_empty_clause(self):
+        formula = CnfFormula()
+        a = formula.var("a")
+        formula.add_clause([a])
+        formula.add_clause([-a])
+        assert not check_rup_proof(formula, [])
+
+
+def test_luby_sequence_prefix():
+    assert [_luby(i) for i in range(1, 10)] == [1, 1, 2, 1, 1, 2, 4, 1, 1]

@@ -1,0 +1,83 @@
+"""SolverBudget: the one metering abstraction both backends share."""
+
+import pytest
+
+from repro.formalism.problems import problem_from_lines
+from repro.graphs import cycle, mark_bipartition
+from repro.solvers import SolverBudget, make_solver
+from repro.solvers.csp import CSP_BUDGET_UNIT
+from repro.solvers.sat.solver import SAT_BUDGET_UNIT
+from repro.utils import InvalidParameterError, SolverLimitError
+
+
+class TestSolverBudget:
+    def test_spend_and_remaining(self):
+        budget = SolverBudget(5, unit="steps")
+        assert budget.remaining == 5 and not budget.exhausted
+        budget.spend(3)
+        assert budget.spent == 3 and budget.remaining == 2
+        budget.spend(2)
+        assert budget.exhausted and budget.remaining == 0
+
+    def test_overspend_raises_with_unit_in_message(self):
+        budget = SolverBudget(2, unit="propagations")
+        budget.spend(2)
+        with pytest.raises(SolverLimitError, match="propagations"):
+            budget.spend()
+
+    @pytest.mark.parametrize("bad", [0, -1, True, "10", 1.5])
+    def test_invalid_limits_rejected(self, bad):
+        with pytest.raises(InvalidParameterError):
+            SolverBudget(bad, unit="steps")
+
+    def test_coerce_passes_instances_through(self):
+        shared = SolverBudget(10, unit="steps")
+        assert SolverBudget.coerce(shared, "other") is shared
+        fresh = SolverBudget.coerce(7, "edge placements")
+        assert fresh.limit == 7 and fresh.unit == "edge placements"
+
+
+class TestExhaustionParity:
+    """Both backends must report exhaustion as SolverLimitError, and a
+    starved budget must starve either backend on the same instance."""
+
+    @pytest.fixture
+    def instance(self):
+        graph = mark_bipartition(cycle(8))
+        problem = problem_from_lines(
+            ["A A", "B B"], ["A A", "B B", "A B"], name="parity"
+        )
+        return graph, problem
+
+    @pytest.mark.parametrize("backend", ["csp", "sat"])
+    def test_tiny_budget_exhausts(self, instance, backend):
+        # The SAT backend may exhaust during encoding (construction), the
+        # CSP one during search — both surface as SolverLimitError.
+        graph, problem = instance
+        with pytest.raises(SolverLimitError):
+            make_solver(graph, problem, backend=backend, budget=1).solve()
+
+    @pytest.mark.parametrize("backend", ["csp", "sat"])
+    def test_default_budget_succeeds(self, instance, backend):
+        graph, problem = instance
+        solver = make_solver(graph, problem, backend=backend)
+        assert solver.solve() is not None
+
+    def test_shared_budget_is_cumulative_on_both_backends(self, instance):
+        graph, problem = instance
+        for backend, unit in (("csp", CSP_BUDGET_UNIT), ("sat", SAT_BUDGET_UNIT)):
+            shared = SolverBudget(10_000_000, unit=unit)
+            solver = make_solver(graph, problem, backend=backend, budget=shared)
+            solver.solve()
+            after_first = shared.spent
+            assert after_first > 0
+            solver.solve()
+            assert shared.spent > after_first
+
+    def test_units_differ_by_backend(self, instance):
+        graph, problem = instance
+        assert CSP_BUDGET_UNIT != SAT_BUDGET_UNIT
+        with pytest.raises(SolverLimitError, match=CSP_BUDGET_UNIT):
+            make_solver(graph, problem, backend="csp", budget=1).solve()
+        with pytest.raises(SolverLimitError, match=SAT_BUDGET_UNIT):
+            make_solver(graph, problem, backend="sat", budget=1).solve()

@@ -34,6 +34,7 @@ def test_registry_listing_and_resolution():
         "roundelim",
         "engines",
         "solver",
+        "sat",
         "serialization",
         "views",
         "explore",
@@ -117,6 +118,21 @@ def test_solver_oracle_catches_an_incomplete_search(monkeypatch):
     failure = _first_failure("solver")
     assert failure is not None
     assert "existence disagrees" in failure[1]
+
+
+def test_sat_oracle_catches_dropped_orbit_expansion(monkeypatch):
+    """Sensitivity: if symmetry-broken enumeration stops re-expanding each
+    lex-leader representative along the automorphism group, the SAT
+    backend undercounts exactly on symmetric instances — the oracle's
+    solution-set comparison must catch the plant."""
+    from repro.solvers.sat import labeling as labeling_module
+
+    monkeypatch.setattr(
+        labeling_module, "expand_orbit", lambda labeling, autos: [labeling]
+    )
+    failure = _first_failure("sat", attempts=120)
+    assert failure is not None
+    assert "solution sets differ" in failure[1]
 
 
 def test_serialization_oracle_catches_a_nonidempotent_encoder(monkeypatch):
