@@ -1,0 +1,100 @@
+"""Deterministic fault injection, crash-safe storage, chaos testing.
+
+The reliability layer is what lets the rest of the system promise
+*byte-identical outputs under injected faults* — the same contract the
+experiments runner makes for ``jobs=N`` and the exploration store makes
+for kill-and-resume, extended to torn writes, corrupted entries, dead
+and hung workers, and dropped connections:
+
+* :mod:`repro.reliability.faults` — :class:`FaultPlan` (a seeded,
+  replayable schedule of named fault sites) and :class:`FaultClock`
+  (the runtime hit counter that fires them exactly once);
+* :mod:`repro.reliability.atomic` — atomic temp-file+rename writes,
+  per-entry checksum footers, quarantine, and manifest-driven recovery
+  for the disk tiers;
+* :mod:`repro.reliability.supervise` — :class:`SupervisedWorkerPool`:
+  worker restart with exactly-once re-dispatch, per-request deadlines
+  (stable ``timeout`` wire code), SAT→CSP degradation;
+* :mod:`repro.reliability.chaos` — the harness asserting the byte-parity
+  invariant over seeded fault schedules, with greedy plan minimization;
+* :mod:`repro.reliability.cli` — ``python -m repro.reliability``
+  (``sites`` / ``plan`` / ``chaos``).
+"""
+
+from repro.reliability.atomic import (
+    CHECKSUM_KEY,
+    QUARANTINE_DIR,
+    CorruptEntryError,
+    body_checksum,
+    open_with_recovery,
+    quarantine_entry,
+    read_checked_json,
+    sweep_tree,
+    write_checked_json,
+)
+from repro.reliability.chaos import (
+    CHAOS_SCHEMA,
+    SCENARIOS,
+    chaos_matrix,
+    minimize_plan,
+    run_case,
+    seeded_case_plan,
+)
+from repro.reliability.faults import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    PLAN_SCHEMA,
+    BackendCrashFault,
+    FaultClock,
+    FaultPlan,
+    FaultSpec,
+    HungSolveFault,
+    InjectedFault,
+    StorageFault,
+    TornWriteFault,
+    TransportDropFault,
+    WorkerCrashFault,
+    check_fault,
+    fault_error,
+)
+from repro.reliability.supervise import (
+    RequestTimeoutError,
+    SupervisedWorkerPool,
+    WorkerCrashError,
+)
+
+__all__ = [
+    "CHAOS_SCHEMA",
+    "CHECKSUM_KEY",
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "PLAN_SCHEMA",
+    "QUARANTINE_DIR",
+    "SCENARIOS",
+    "BackendCrashFault",
+    "CorruptEntryError",
+    "FaultClock",
+    "FaultPlan",
+    "FaultSpec",
+    "HungSolveFault",
+    "InjectedFault",
+    "RequestTimeoutError",
+    "StorageFault",
+    "SupervisedWorkerPool",
+    "TornWriteFault",
+    "TransportDropFault",
+    "WorkerCrashError",
+    "WorkerCrashFault",
+    "body_checksum",
+    "chaos_matrix",
+    "check_fault",
+    "fault_error",
+    "minimize_plan",
+    "open_with_recovery",
+    "quarantine_entry",
+    "read_checked_json",
+    "run_case",
+    "seeded_case_plan",
+    "sweep_tree",
+    "write_checked_json",
+]

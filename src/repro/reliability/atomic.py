@@ -1,0 +1,241 @@
+"""Crash-safe storage primitives: atomic writes, checksums, quarantine.
+
+Every disk-tier entry of the :class:`~repro.service.cache.ReportCache`
+and the :class:`~repro.roundelim.explore.store.ProblemStore` goes
+through this module:
+
+* **atomic writes** — render to a temporary file in the target
+  directory, then ``os.replace``; a crash (or injected torn write) at
+  any point leaves either the old entry or a stray ``*.tmp``, never a
+  half-written visible file;
+* **checksum footers** — every entry carries a ``checksum`` field over
+  the canonical encoding of the rest of the record, so silent on-disk
+  corruption (truncation, bit rot, a concurrent non-atomic writer) is
+  *detected* at read time instead of surfacing as a JSON error or —
+  worse — a wrong answer;
+* **quarantine** — a corrupt entry is moved to ``root/quarantine/``
+  (never deleted: it is evidence) and the caller recomputes;
+* **recovery sweep** — on reopening a store whose shutdown manifest is
+  missing (an ungraceful shutdown), every entry is validated eagerly,
+  corrupt ones are quarantined, and stray temporary files are removed.
+
+Entries written before the checksum layer existed (no ``checksum``
+field) are accepted as long as they parse — the footer is verified only
+when present, so old store directories resume without recomputation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.reliability.faults import (
+    FaultClock,
+    InjectedFault,
+    StorageFault,
+    TornWriteFault,
+    check_fault,
+    fault_error,
+)
+from repro.utils import ReproError
+from repro.utils.serialization import canonical_dumps
+
+CHECKSUM_KEY = "checksum"
+
+#: Directory (under a store root) corrupt entries are moved into.
+QUARANTINE_DIR = "quarantine"
+
+
+class CorruptEntryError(ReproError):
+    """An on-disk entry failed validation (torn, truncated, tampered)."""
+
+    code = "corrupt-entry"
+
+
+def body_checksum(body: dict) -> str:
+    """sha256 over the canonical encoding of ``body`` (checksum excluded)."""
+    keyed = {key: value for key, value in body.items() if key != CHECKSUM_KEY}
+    encoded = canonical_dumps(keyed).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+def write_checked_json(
+    path: str | Path,
+    value: dict,
+    *,
+    indent: int | None = 2,
+    fault_clock: FaultClock | None = None,
+    site: str | None = None,
+) -> Path:
+    """Atomically write ``value`` as canonical JSON with a checksum footer.
+
+    The rendered bytes land in a ``*.tmp`` sibling first and are moved
+    over the target with ``os.replace``, so the visible file is always
+    either the previous version or the complete new one.  When a fault
+    clock and site are given, scheduled faults fire here:
+
+    * ``error`` — raises before anything is written;
+    * ``torn_write`` — writes half the bytes to the temp file, then
+      raises (the stray temp file is recovery-sweep food);
+    * ``corrupt`` — the write *succeeds*, then the visible file is
+      truncated in place: the silent-corruption case checksums catch.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    body = {**value, CHECKSUM_KEY: body_checksum(value)}
+    data = (canonical_dumps(body, indent=indent) + "\n").encode("utf-8")
+    spec = check_fault(fault_clock, site) if site is not None else None
+    if spec is not None and spec.kind == "error":
+        raise StorageFault(spec)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=f"{target.name}.", suffix=".tmp"
+    )
+    with os.fdopen(fd, "wb") as handle:
+        if spec is not None and spec.kind == "torn_write":
+            handle.write(data[: len(data) // 2])
+            handle.flush()
+            raise TornWriteFault(spec)
+        handle.write(data)
+    os.replace(tmp_name, target)
+    if spec is not None and spec.kind == "corrupt":
+        raw = target.read_bytes()
+        target.write_bytes(raw[: len(raw) // 2])
+    elif spec is not None and spec.kind not in ("error", "torn_write"):
+        raise fault_error(spec)
+    return target
+
+
+def read_checked_json(path: str | Path) -> dict:
+    """Load one entry, verifying its checksum footer when present.
+
+    Returns the entry *without* the ``checksum`` key.  Raises
+    :class:`CorruptEntryError` for every way an entry can be bad:
+    unreadable, empty, truncated, not JSON, not an object, or failing
+    its checksum.  Entries without a footer (written before the
+    checksum layer) are accepted if they parse.
+    """
+    target = Path(path)
+    try:
+        text = target.read_text()
+    except OSError as error:
+        raise CorruptEntryError(f"unreadable entry {target.name}: {error}") from error
+    if not text.strip():
+        raise CorruptEntryError(f"empty entry {target.name}")
+    try:
+        loaded = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise CorruptEntryError(
+            f"entry {target.name} is not JSON: {error}"
+        ) from error
+    if not isinstance(loaded, dict):
+        raise CorruptEntryError(
+            f"entry {target.name} is {type(loaded).__name__}, expected an object"
+        )
+    stored = loaded.pop(CHECKSUM_KEY, None)
+    if stored is not None and stored != body_checksum(loaded):
+        raise CorruptEntryError(f"entry {target.name} fails its checksum")
+    return loaded
+
+
+def quarantine_entry(path: str | Path, root: str | Path) -> Path | None:
+    """Move a bad entry into ``root/quarantine/``; returns its new home.
+
+    Never deletes: a quarantined entry is the forensic record of what
+    corruption looked like.  Name collisions get a numeric suffix.
+    Returns None when the entry vanished before it could be moved.
+    """
+    source = Path(path)
+    target_dir = Path(root) / QUARANTINE_DIR
+    target_dir.mkdir(parents=True, exist_ok=True)
+    candidate = target_dir / source.name
+    suffix = 0
+    while candidate.exists():
+        suffix += 1
+        candidate = target_dir / f"{source.name}.{suffix}"
+    try:
+        os.replace(source, candidate)
+    except OSError:
+        return None
+    return candidate
+
+
+def sweep_tree(root: str | Path, subdirs) -> dict:
+    """Validate every entry under ``root``'s subdirs; quarantine the bad.
+
+    The eager half of recovery: called when a store reopens without a
+    graceful-shutdown manifest.  Stray ``*.tmp`` files (torn or
+    interrupted atomic writes) are removed; every ``*.json`` entry is
+    checksum-validated and corrupt ones move to quarantine.  Returns a
+    summary (``checked`` / ``quarantined`` / ``tmp_removed``).
+    """
+    root = Path(root)
+    summary = {"checked": 0, "quarantined": 0, "tmp_removed": 0}
+    for sub in subdirs:
+        directory = root / sub
+        if not directory.is_dir():
+            continue
+        for stray in sorted(directory.glob("*.tmp")):
+            stray.unlink(missing_ok=True)
+            summary["tmp_removed"] += 1
+        for entry in sorted(directory.glob("*.json")):
+            summary["checked"] += 1
+            try:
+                read_checked_json(entry)
+            except CorruptEntryError:
+                quarantine_entry(entry, root)
+                summary["quarantined"] += 1
+    return summary
+
+
+def open_with_recovery(
+    root: str | Path,
+    subdirs,
+    *,
+    manifest_name: str = "manifest.json",
+) -> dict:
+    """Prepare a store directory, recovering from ungraceful shutdowns.
+
+    Creates the subdirectories, then decides between the two trust
+    levels:
+
+    * a readable, checksum-valid manifest means the previous shutdown
+      was graceful — entries are trusted and validated lazily on read;
+    * a missing or corrupt manifest means a crash — every entry is
+      swept eagerly (see :func:`sweep_tree`), and a corrupt manifest is
+      itself quarantined.
+
+    Returns a recovery summary ``{"graceful", "checked", "quarantined",
+    "tmp_removed"}`` the store keeps for telemetry.
+    """
+    root = Path(root)
+    for sub in subdirs:
+        (root / sub).mkdir(parents=True, exist_ok=True)
+    manifest = root / manifest_name
+    graceful = False
+    if manifest.exists():
+        try:
+            read_checked_json(manifest)
+            graceful = True
+        except CorruptEntryError:
+            quarantine_entry(manifest, root)
+    summary = {"checked": 0, "quarantined": 0, "tmp_removed": 0}
+    if not graceful:
+        summary = sweep_tree(root, subdirs)
+    return {"graceful": graceful, **summary}
+
+
+__all__ = [
+    "CHECKSUM_KEY",
+    "CorruptEntryError",
+    "InjectedFault",
+    "QUARANTINE_DIR",
+    "body_checksum",
+    "open_with_recovery",
+    "quarantine_entry",
+    "read_checked_json",
+    "sweep_tree",
+    "write_checked_json",
+]

@@ -1,0 +1,144 @@
+"""Command line for chaos testing: ``python -m repro.reliability``.
+
+Subcommands::
+
+    sites    print the fault-site catalog (site, supported kinds)
+    plan     derive and print the seeded fault plan for a seed
+    chaos    run a seed x scenario chaos matrix (the CI chaos job body)
+
+``chaos`` exits non-zero when any case violates byte parity or daemon
+survival; failing schedules are greedily minimized and written (plus the
+full matrix summary) to ``--out`` for upload as CI artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.reliability.chaos import SCENARIOS, chaos_matrix, seeded_case_plan
+from repro.reliability.faults import FAULT_SITES, SITE_DESCRIPTIONS
+from repro.utils import ReproError
+from repro.utils.serialization import canonical_dumps, write_json
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.reliability",
+        description="Deterministic fault injection and chaos testing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("sites", help="print the fault-site catalog")
+
+    plan = sub.add_parser("plan", help="print the seeded plan for a seed")
+    plan.add_argument("--seed", type=int, required=True)
+    plan.add_argument("--scenario", choices=SCENARIOS, default=None,
+                      help="restrict sites to one chaos scenario's")
+
+    chaos = sub.add_parser("chaos", help="run a seeded chaos matrix")
+    chaos.add_argument("--seeds", default="0:8",
+                       help="seed range 'start:stop' or comma list")
+    chaos.add_argument("--scenarios", default=",".join(SCENARIOS),
+                       help="comma-separated subset of "
+                            f"{'/'.join(SCENARIOS)}")
+    chaos.add_argument("--workdir", default=None,
+                       help="scratch directory (default: a temp dir)")
+    chaos.add_argument("--out", default=None,
+                       help="write the matrix summary JSON here")
+    chaos.add_argument("--no-minimize", action="store_true",
+                       help="skip shrinking failing schedules")
+
+    return parser
+
+
+def _parse_seeds(text: str) -> list[int]:
+    if ":" in text:
+        start, stop = text.split(":", 1)
+        return list(range(int(start), int(stop)))
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def _cmd_sites(_args) -> int:
+    for site in sorted(FAULT_SITES):
+        kinds = "/".join(FAULT_SITES[site])
+        print(f"{site:16s} [{kinds}]  {SITE_DESCRIPTIONS[site]}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    if args.scenario is not None:
+        plan = seeded_case_plan(args.scenario, args.seed)
+    else:
+        from repro.reliability.faults import FaultPlan
+
+        plan = FaultPlan.seeded(args.seed)
+    print(canonical_dumps(plan.as_dict(), indent=2))
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    seeds = _parse_seeds(args.seeds)
+    scenarios = tuple(
+        part.strip() for part in args.scenarios.split(",") if part.strip()
+    )
+    for scenario in scenarios:
+        if scenario not in SCENARIOS:
+            print(f"error: unknown scenario {scenario!r}", file=sys.stderr)
+            return 2
+    if args.workdir is not None:
+        summary = chaos_matrix(
+            seeds, args.workdir, scenarios=scenarios,
+            minimize=not args.no_minimize,
+        )
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+            summary = chaos_matrix(
+                seeds, scratch, scenarios=scenarios,
+                minimize=not args.no_minimize,
+            )
+    if args.out:
+        write_json(Path(args.out), summary)
+    for case in summary["cases"]:
+        verdict = "ok" if case["ok"] else "FAIL"
+        fired = len(case.get("cold", {}).get("faults_fired", []))
+        print(
+            f"{case['scenario']:10s} seed={case['seed']:<4d} "
+            f"faults_fired={fired} {verdict}"
+        )
+    for failure in summary["failures"]:
+        print(
+            f"FAIL {failure['scenario']} seed={failure['seed']}: "
+            f"{'; '.join(failure['failures'])}",
+            file=sys.stderr,
+        )
+        print(
+            "  minimized plan: "
+            + canonical_dumps(failure["minimized_plan"]),
+            file=sys.stderr,
+        )
+    total, bad = len(summary["cases"]), len(summary["failures"])
+    print(f"chaos matrix: {total - bad}/{total} cases ok")
+    return 0 if summary["ok"] else 1
+
+
+_COMMANDS = {"sites": _cmd_sites, "plan": _cmd_plan, "chaos": _cmd_chaos}
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into head); not a failure.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -541,6 +541,9 @@ def explore(
     _classify(search)
     steps = _link_steps(search)
     sequences = _extract_sequences(search, steps)
+    # A completed search is a graceful "shutdown" of the store: leave the
+    # manifest marker so the next run resumes without an eager sweep.
+    store.flush()
 
     counts = {
         "visited": len(search.nodes),

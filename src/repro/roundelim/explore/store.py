@@ -31,6 +31,14 @@ memoized the same way: witness existence is a property of the two
 canonical forms only, and the searches behind it (label-map and ordered
 configuration-map backtracking) dominate warm exploration wall-clock if
 recomputed, so they are first-class store entries alongside R / R̄ / RE.
+
+The disk tier is crash-safe (:mod:`repro.reliability.atomic`): atomic
+checksummed writes, quarantine-and-recompute for corrupt entries (an op
+entry whose child node was lost is quarantined too — recomputing brings
+the payload back), and a ``manifest.json`` graceful-shutdown marker
+(:meth:`ProblemStore.flush`) that decides between lazy and eager
+validation on reopen.  Entries written before the checksum layer are
+accepted as-is.
 """
 
 from __future__ import annotations
@@ -45,6 +53,14 @@ from repro.formalism.normalize import (
     problem_from_payload,
 )
 from repro.formalism.problems import Problem
+from repro.reliability.atomic import (
+    CorruptEntryError,
+    open_with_recovery,
+    quarantine_entry,
+    read_checked_json,
+    write_checked_json,
+)
+from repro.reliability.faults import FaultClock, InjectedFault
 from repro.roundelim.operators import (
     DEFAULT_ENGINE,
     apply_R,
@@ -52,11 +68,14 @@ from repro.roundelim.operators import (
     round_elimination,
 )
 from repro.utils import InvalidParameterError, SolverLimitError
-from repro.utils.serialization import write_json
 
 NODE_SCHEMA = "repro.explore/node-v1"
 OP_SCHEMA = "repro.explore/op-v1"
 LINK_SCHEMA = "repro.explore/link-v1"
+STORE_MANIFEST_SCHEMA = "repro.explore/manifest-v1"
+
+#: The disk-tier subdirectories a rooted store owns.
+STORE_SUBDIRS = ("nodes", "ops", "links")
 
 #: The operators the store can memoize.
 OPERATORS = ("R", "R_bar", "RE")
@@ -154,6 +173,8 @@ class StoreStats:
     computed: int = 0
     computed_links: int = 0
     evictions: int = 0
+    quarantined: int = 0
+    write_failures: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -163,6 +184,8 @@ class StoreStats:
             "computed": self.computed,
             "computed_links": self.computed_links,
             "evictions": self.evictions,
+            "quarantined": self.quarantined,
+            "write_failures": self.write_failures,
         }
 
 
@@ -173,17 +196,76 @@ class ProblemStore:
     capacity: int = 4096
     root: Path | None = None
     stats: StoreStats = field(default_factory=StoreStats)
+    fault_clock: FaultClock | None = None
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
             raise InvalidParameterError("store capacity must be >= 1")
+        self.recovery = {"graceful": True, "checked": 0, "quarantined": 0,
+                         "tmp_removed": 0}
         if self.root is not None:
             self.root = Path(self.root)
-            (self.root / "nodes").mkdir(parents=True, exist_ok=True)
-            (self.root / "ops").mkdir(parents=True, exist_ok=True)
-            (self.root / "links").mkdir(parents=True, exist_ok=True)
+            self.recovery = open_with_recovery(self.root, STORE_SUBDIRS)
+            self.stats.quarantined += self.recovery["quarantined"]
         self._results: OrderedDict[tuple[str, str, int], dict] = OrderedDict()
         self._payloads: dict[str, dict] = {}
+        self._dirty = False
+
+    def _write_entry(self, target: Path, body: dict) -> None:
+        """One crash-safe disk-tier write; failures degrade durability only."""
+        self._mark_dirty()
+        try:
+            write_checked_json(
+                target, body, fault_clock=self.fault_clock, site="store.write"
+            )
+        except (InjectedFault, OSError):
+            self.stats.write_failures += 1
+
+    def _mark_dirty(self) -> None:
+        """Drop the graceful-shutdown marker before the first mutation."""
+        if not self._dirty:
+            self._dirty = True
+            (self.root / "manifest.json").unlink(missing_ok=True)
+
+    def _read_entry(self, target: Path) -> dict | None:
+        """Load one disk entry; corrupt entries are quarantined (→ None)."""
+        try:
+            return read_checked_json(target)
+        except CorruptEntryError:
+            quarantine_entry(target, self.root)
+            self.stats.quarantined += 1
+            return None
+
+    def flush(self) -> Path | None:
+        """Write the shutdown manifest; its presence marks a graceful stop.
+
+        A reopened store with a valid manifest trusts its entries and
+        validates them lazily; without one it sweeps eagerly (see
+        :mod:`repro.reliability.atomic`).  No-op off disk; a failed
+        manifest write is counted and swallowed.
+        """
+        if self.root is None:
+            return None
+        census = {
+            sub: len(list((self.root / sub).glob("*.json")))
+            for sub in STORE_SUBDIRS
+        }
+        try:
+            target = write_checked_json(
+                self.root / "manifest.json",
+                {
+                    "schema": STORE_MANIFEST_SCHEMA,
+                    "entries": census,
+                    "stats": self.stats.as_dict(),
+                },
+                fault_clock=self.fault_clock,
+                site="store.write",
+            )
+        except (InjectedFault, OSError):
+            self.stats.write_failures += 1
+            return None
+        self._dirty = False
+        return target
 
     # -- interning ---------------------------------------------------------
 
@@ -200,23 +282,35 @@ class ProblemStore:
             if self.root is not None:
                 target = self.root / "nodes" / f"{digest}.json"
                 if not target.exists():
-                    write_json(target, {"schema": NODE_SCHEMA, **payload})
+                    self._write_entry(target, {"schema": NODE_SCHEMA, **payload})
 
     def payload_of(self, digest: str) -> dict:
-        """The canonical payload of an interned digest (memory, then disk)."""
+        """The canonical payload of an interned digest (memory, then disk).
+
+        A corrupt node entry is quarantined and reported as unknown —
+        callers that got the digest from an op entry treat that as a
+        cache miss and recompute (the outcome carries the payload back).
+        """
         payload = self._payloads.get(digest)
         if payload is not None:
             return payload
         if self.root is not None:
             target = self.root / "nodes" / f"{digest}.json"
             if target.exists():
-                import json
-
-                loaded = json.loads(target.read_text())
-                loaded.pop("schema", None)
-                self._payloads[digest] = loaded
-                return loaded
+                loaded = self._read_entry(target)
+                if loaded is not None:
+                    loaded.pop("schema", None)
+                    self._payloads[digest] = loaded
+                    return loaded
         raise InvalidParameterError(f"unknown problem digest {digest!r}")
+
+    def has_payload(self, digest: str) -> bool:
+        """True when :meth:`payload_of` can answer for ``digest``."""
+        try:
+            self.payload_of(digest)
+            return True
+        except InvalidParameterError:
+            return False
 
     def problem_of(self, digest: str, name: str | None = None) -> Problem:
         """Rebuild the canonical problem behind a digest."""
@@ -235,13 +329,23 @@ class ProblemStore:
         if self.root is not None:
             target = self.root / "ops" / f"{digest}.{op}.{budget}.json"
             if target.exists():
-                import json
-
-                loaded = json.loads(target.read_text())
-                entry = {"status": loaded["status"], "child": loaded["child"]}
-                self._remember(key, entry)
-                self.stats.disk_hits += 1
-                return entry
+                loaded = self._read_entry(target)
+                if loaded is not None and (
+                    loaded.get("child") is None
+                    or self.has_payload(loaded["child"])
+                ):
+                    entry = {"status": loaded["status"], "child": loaded["child"]}
+                    self._remember(key, entry)
+                    self.stats.disk_hits += 1
+                    return entry
+                if loaded is not None:
+                    # The op entry is intact but its child node was lost
+                    # (quarantined or never persisted): a hit would leave
+                    # an unresolvable digest in the graph, so quarantine
+                    # the op entry too and recompute — compute_step's
+                    # outcome carries the child payload back.
+                    quarantine_entry(target, self.root)
+                    self.stats.quarantined += 1
         self.stats.misses += 1
         return None
 
@@ -252,7 +356,7 @@ class ProblemStore:
             self.register_payload(outcome["child"], outcome["child_payload"])
         self._remember((digest, op, budget), entry)
         if self.root is not None:
-            write_json(
+            self._write_entry(
                 self.root / "ops" / f"{digest}.{op}.{budget}.json",
                 {
                     "schema": OP_SCHEMA,
@@ -308,13 +412,12 @@ class ProblemStore:
         if self.root is not None:
             target = self.root / "links" / f"{strict_digest}.{relaxed_digest}.json"
             if target.exists():
-                import json
-
-                loaded = json.loads(target.read_text())
-                entry = {"witness": loaded["witness"]}
-                self._remember(key, entry)
-                self.stats.disk_hits += 1
-                return entry
+                loaded = self._read_entry(target)
+                if loaded is not None:
+                    entry = {"witness": loaded["witness"]}
+                    self._remember(key, entry)
+                    self.stats.disk_hits += 1
+                    return entry
         self.stats.misses += 1
         entry = compute_relaxation(
             self.payload_of(strict_digest), self.payload_of(relaxed_digest)
@@ -322,7 +425,7 @@ class ProblemStore:
         self.stats.computed_links += 1
         self._remember(key, entry)
         if self.root is not None:
-            write_json(
+            self._write_entry(
                 self.root / "links" / f"{strict_digest}.{relaxed_digest}.json",
                 {
                     "schema": LINK_SCHEMA,

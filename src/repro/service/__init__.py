@@ -13,8 +13,11 @@ Layers (transport-agnostic core, thin skins):
 * :mod:`repro.service.worker` — pure request execution + process pool
 * :mod:`repro.service.server` — :class:`SolveService` (dedup + dispatch)
 * :mod:`repro.service.httpd` — stdlib HTTP transport
-* :mod:`repro.service.client` — urllib client
+* :mod:`repro.service.client` — retrying stdlib client (timeouts, backoff)
 * :mod:`repro.service.cli` — ``python -m repro.service`` (serve/request/status)
+
+Reliability (worker supervision, fault injection, crash-safe storage)
+comes from :mod:`repro.reliability` and is threaded through every layer.
 """
 
 from repro.service.cache import CacheStats, ReportCache
@@ -33,7 +36,11 @@ from repro.service.protocol import (
     roundelim_request,
     solve_request,
 )
-from repro.service.server import ServiceClosedError, SolveService
+from repro.service.server import (
+    ServiceClosedError,
+    ServiceOverloadedError,
+    SolveService,
+)
 from repro.service.worker import WorkerPool, compute_result
 
 __all__ = [
@@ -47,6 +54,7 @@ __all__ = [
     "ServiceClient",
     "ServiceClosedError",
     "ServiceHTTPServer",
+    "ServiceOverloadedError",
     "ServiceUnavailableError",
     "SolveService",
     "WorkerPool",

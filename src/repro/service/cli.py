@@ -52,6 +52,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker processes (1 = inline)")
     serve.add_argument("--batch-size", type=int, default=8,
                        help="max requests dispatched per worker batch")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-request deadline in seconds (stable "
+                            "'timeout' wire code when exceeded)")
+    serve.add_argument("--max-pending", type=int, default=None,
+                       help="bounded queue: shed requests past this many "
+                            "in flight with 'overloaded' + Retry-After")
     serve.add_argument("--ready-file", default=None,
                        help="write 'host port' here once listening")
     serve.add_argument("--verbose", action="store_true",
@@ -101,6 +107,8 @@ def _cmd_serve(args) -> int:
         capacity=args.capacity,
         jobs=args.jobs,
         batch_size=args.batch_size,
+        deadline=args.deadline,
+        max_pending=args.max_pending,
     )
     server = ServiceHTTPServer(
         service, args.host, args.port, verbose=args.verbose

@@ -16,7 +16,8 @@ Endpoints::
 Every body is canonical JSON.  Error responses use the same envelope as
 the protocol layer (``status="error"`` + stable code) with a matching
 HTTP status: 400 for client-side codes, 404/405 for routing, 500 for
-``internal``.
+``internal``, 503 + ``Retry-After`` for back-pressure (``overloaded``,
+``service-closed``), 504 for ``timeout``.
 """
 
 from __future__ import annotations
@@ -38,16 +39,36 @@ from repro.utils.serialization import canonical_dumps
 #: Error codes that are the server's fault, not the client's.
 _SERVER_FAULT_CODES = frozenset({"internal", "library-error"})
 
+#: Back-pressure codes: the request was fine, the server just cannot
+#: take it *right now* — 503 + Retry-After, and clients retry.
+_UNAVAILABLE_CODES = frozenset({"overloaded", "service-closed"})
+
 #: Request body size cap (16 MiB): a serialized problem payload is far
 #: smaller; anything bigger is a client error, not a solve.
 MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: Retry-After value (seconds) when the envelope carries no hint.
+DEFAULT_RETRY_AFTER_HEADER = 1
 
 
 def _http_status(response: dict) -> int:
     if response.get("status") == "ok":
         return 200
     code = response.get("error", {}).get("code", "internal")
+    if code in _UNAVAILABLE_CODES:
+        return 503
+    if code == "timeout":
+        return 504
     return 500 if code in _SERVER_FAULT_CODES else 400
+
+
+def _retry_after_header(response: dict) -> str | None:
+    """The Retry-After value a 503 response advertises (whole seconds)."""
+    error = response.get("error", {})
+    if error.get("code") not in _UNAVAILABLE_CODES:
+        return None
+    hint = error.get("retry_after", DEFAULT_RETRY_AFTER_HEADER)
+    return str(max(1, int(round(float(hint)))))
 
 
 class _ServiceHandler(BaseHTTPRequestHandler):
@@ -66,13 +87,18 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self._send_raw(
             canonical_dumps(payload),
             status if status is not None else _http_status(payload),
+            retry_after=_retry_after_header(payload),
         )
 
-    def _send_raw(self, rendered: str, status: int) -> None:
+    def _send_raw(
+        self, rendered: str, status: int, retry_after: str | None = None
+    ) -> None:
         body = (rendered + "\n").encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", retry_after)
         self.end_headers()
         self.wfile.write(body)
 

@@ -359,10 +359,20 @@ def render_ok_response(
     )
 
 
-def error_response(code: str, message: str) -> dict:
-    """Assemble a ``status="error"`` response envelope."""
+def error_response(
+    code: str, message: str, *, retry_after: float | None = None
+) -> dict:
+    """Assemble a ``status="error"`` response envelope.
+
+    ``retry_after`` (seconds) rides along for back-pressure codes
+    (``overloaded``, ``service-closed``); the HTTP layer surfaces it as
+    a ``Retry-After`` header and retrying clients honor it.
+    """
+    error = {"code": code, "message": message}
+    if retry_after is not None:
+        error["retry_after"] = retry_after
     return {
         "schema": RESPONSE_SCHEMA,
         "status": "error",
-        "error": {"code": code, "message": message},
+        "error": error,
     }

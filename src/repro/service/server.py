@@ -13,13 +13,20 @@ owns the request pipeline:
    entry: exactly one solve runs, every waiter gets its result (the
    ``solves_computed`` counter is the test hook for "exactly one");
 4. **dispatch** — a dispatcher thread drains the submission queue in
-   batches and runs them on the :class:`~repro.service.worker.WorkerPool`
-   (inline for ``jobs=1``, a process pool otherwise).
+   batches and runs them on the
+   :class:`~repro.reliability.supervise.SupervisedWorkerPool` (inline
+   for ``jobs=1``, a supervised process pool otherwise: dead workers
+   restart with exactly-once re-dispatch, hung requests resolve to the
+   stable ``timeout`` code under ``deadline``).
 
 ``submit()`` blocks until its response is ready, which makes the service
 trivially correct under any threaded transport (the HTTP layer gives
-each connection a thread).  ``close()`` is graceful: pending requests
-finish, the pool joins, the cache flushes its manifest.
+each connection a thread).  With ``max_pending`` set, excess load is
+shed *before* it occupies a queue slot: shedded requests get the stable
+``overloaded`` code plus a ``retry_after`` hint instead of unbounded
+queueing.  ``close()`` is graceful: pending requests finish, the pool
+joins, the cache flushes its manifest.  ``abandon()`` is the opposite —
+a simulated daemon kill for crash-recovery tests.
 """
 
 from __future__ import annotations
@@ -29,6 +36,8 @@ import threading
 import time
 from pathlib import Path
 
+from repro.reliability.faults import FaultClock
+from repro.reliability.supervise import SupervisedWorkerPool
 from repro.service.cache import ReportCache
 from repro.service.protocol import (
     STATUS_SCHEMA,
@@ -38,17 +47,25 @@ from repro.service.protocol import (
     render_ok_response,
     request_digest,
 )
-from repro.service.worker import WorkerPool
 from repro.utils import ReproError
 
 #: Dispatcher shutdown sentinel.
 _SHUTDOWN = object()
+
+#: The Retry-After hint (seconds) an overloaded response carries.
+DEFAULT_RETRY_AFTER = 1.0
 
 
 class ServiceClosedError(ReproError):
     """The service is shutting down and no longer accepts requests."""
 
     code = "service-closed"
+
+
+class ServiceOverloadedError(ReproError):
+    """The bounded queue is full; the caller should retry after a delay."""
+
+    code = "overloaded"
 
 
 class _Pending:
@@ -72,12 +89,26 @@ class SolveService:
         capacity: int = 1024,
         jobs: int = 1,
         batch_size: int = 8,
+        deadline: float | None = None,
+        max_pending: int | None = None,
+        retry_after: float = DEFAULT_RETRY_AFTER,
+        fault_clock: FaultClock | None = None,
     ) -> None:
         if batch_size < 1:
             raise ReproError("batch_size must be >= 1")
+        if max_pending is not None and max_pending < 1:
+            raise ReproError("max_pending must be >= 1")
         self.batch_size = batch_size
-        self.cache = ReportCache(capacity=capacity, root=cache_dir)
-        self.pool = WorkerPool(jobs=jobs)
+        self.deadline = deadline
+        self.max_pending = max_pending
+        self.retry_after = retry_after
+        self.fault_clock = fault_clock
+        self.cache = ReportCache(
+            capacity=capacity, root=cache_dir, fault_clock=fault_clock
+        )
+        self.pool = SupervisedWorkerPool(
+            jobs=jobs, deadline=deadline, fault_clock=fault_clock
+        )
         self._queue: queue.Queue = queue.Queue()
         self._inflight: dict[str, _Pending] = {}
         self._lock = threading.Lock()
@@ -91,6 +122,7 @@ class SolveService:
         self.coalesced = 0
         self.solves_computed = 0
         self.batches = 0
+        self.shed = 0
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="solve-dispatcher", daemon=True
         )
@@ -135,6 +167,23 @@ class SolveService:
                 return ok_response(kind, digest, hit["record"], cached=True)
             pending = self._inflight.get(digest)
             if pending is None:
+                if (
+                    self.max_pending is not None
+                    and len(self._inflight) >= self.max_pending
+                ):
+                    # Shed before occupying a slot: bounded queues keep
+                    # tail latency bounded, and the retry_after hint
+                    # (surfaced as Retry-After over HTTP) tells the
+                    # client when to come back.
+                    self.errors += 1
+                    self.shed += 1
+                    return error_response(
+                        ServiceOverloadedError.code,
+                        f"service is at its pending-request limit "
+                        f"({self.max_pending}); retry after "
+                        f"{self.retry_after}s",
+                        retry_after=self.retry_after,
+                    )
                 pending = _Pending()
                 self._inflight[digest] = pending
                 self._queue.put((digest, canonical))
@@ -172,7 +221,21 @@ class SolveService:
                     stop = True
                     break
                 batch.append(extra)
-            results = self.pool.run_batch([canonical for _d, canonical in batch])
+            try:
+                results = self.pool.run_batch(
+                    [canonical for _d, canonical in batch]
+                )
+            except Exception as error:  # noqa: BLE001 - daemon must survive
+                # The supervised pool converts worker failures to result
+                # dicts; anything that still escapes must not kill the
+                # dispatcher (a dead dispatcher wedges every submit).
+                results = [
+                    {
+                        "ok": False,
+                        "code": "internal",
+                        "message": f"{type(error).__name__}: {error}",
+                    }
+                ] * len(batch)
             with self._lock:
                 self.solves_computed += len(batch)
                 self.batches += 1
@@ -197,6 +260,32 @@ class SolveService:
         self._dispatcher.join()
         self.pool.close()
         self.cache.flush()
+
+    def abandon(self) -> None:
+        """Simulated daemon kill: stop *without* flushing the manifest.
+
+        Crash-recovery tests use this as the controlled stand-in for
+        ``kill -9``: the dispatcher stops, workers are torn down, but no
+        shutdown manifest is written — so the next open of the cache
+        directory must take the recovery path.  Waiters still blocked on
+        an in-flight request are released with ``service-closed``.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(_SHUTDOWN)
+        self._dispatcher.join()
+        self.pool.close()
+        with self._lock:
+            for pending in self._inflight.values():
+                pending.result = {
+                    "ok": False,
+                    "code": ServiceClosedError.code,
+                    "message": "service was killed mid-request",
+                }
+                pending.event.set()
+            self._inflight.clear()
 
     def __enter__(self) -> "SolveService":
         return self
@@ -234,6 +323,18 @@ class SolveService:
                     "size": size,
                     "capacity": self.cache.capacity,
                     "on_disk": self.cache.root is not None,
+                },
+                "reliability": {
+                    **self.pool.telemetry(),
+                    "deadline": self.deadline,
+                    "max_pending": self.max_pending,
+                    "shed": self.shed,
+                    "cache_recovery": dict(self.cache.recovery),
+                    "faults_fired": (
+                        len(self.fault_clock.fired)
+                        if self.fault_clock is not None
+                        else 0
+                    ),
                 },
                 "algorithms": [entry["name"] for entry in list_algorithms()],
                 "engines": [entry["name"] for entry in list_engines()],

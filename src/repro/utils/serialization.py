@@ -61,10 +61,30 @@ def canonical_dumps(value, indent: int | None = None) -> str:
 
 
 def write_json(path: str | Path, value, indent: int | None = 2) -> Path:
-    """Write ``value`` as canonical JSON, creating parent directories."""
+    """Write ``value`` as canonical JSON, creating parent directories.
+
+    The write is atomic (temp file in the target directory, then
+    ``os.replace``): a reader — or a crash — never observes a
+    half-written file, only the old version or the new one.
+    """
+    import os
+    import tempfile
+
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(canonical_dumps(value, indent=indent) + "\n")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=f"{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(canonical_dumps(value, indent=indent) + "\n")
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return target
 
 

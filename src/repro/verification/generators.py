@@ -329,6 +329,63 @@ def build_support_graph(params: dict) -> nx.Graph:
 
 
 # ---------------------------------------------------------------------------
+# Fault plans (the reliability oracle's case shape)
+
+
+#: Chaos scenarios the reliability oracle fuzzes.  ``transport`` is
+#: deliberately absent: it binds a real HTTP daemon per case, which
+#: belongs in the chaos matrix (CI's chaos job), not in a fuzz loop.
+RELIABILITY_SCENARIOS = ("service", "explore")
+
+#: Fault hits are drawn from [1, MAX_FAULT_HIT] (hit 1 = the first time
+#: the site is reached): the chaos workload touches each site a handful
+#: of times, so late hits never fire — itself a case worth generating (a
+#: plan that does nothing must trivially preserve parity).
+MAX_FAULT_HIT = 4
+
+
+def random_fault_plan_params(
+    rng: random.Random, *, max_faults: int = 3
+) -> dict:
+    """A random chaos case: a scenario plus explicit (site, hit, kind)
+    triples.
+
+    The faults are spelled out rather than stored as a plan seed so a
+    corpus entry replays with no RNG and the shrinker can drop or
+    weaken individual faults structurally.
+    """
+    from repro.reliability.chaos import SCENARIO_SITES
+    from repro.reliability.faults import FAULT_SITES
+
+    scenario = rng.choice(RELIABILITY_SCENARIOS)
+    sites = SCENARIO_SITES[scenario]
+    taken = set()
+    faults = []
+    for _ in range(rng.randint(1, max_faults)):
+        site = rng.choice(sites)
+        hit = rng.randint(1, MAX_FAULT_HIT)
+        if (site, hit) in taken:
+            continue  # at most one fault per (site, hit), like FaultPlan
+        taken.add((site, hit))
+        faults.append([site, hit, rng.choice(FAULT_SITES[site])])
+    return {"scenario": scenario, "faults": sorted(faults)}
+
+
+def build_fault_plan(params: dict):
+    """Reconstruct the :class:`~repro.reliability.faults.FaultPlan` a
+    fault-plan-params dict names (scenario validated here so a corrupted
+    corpus entry fails loudly)."""
+    from repro.reliability.faults import FaultPlan
+
+    if params.get("scenario") not in RELIABILITY_SCENARIOS:
+        raise InvalidParameterError(
+            f"fault-plan params name unknown scenario "
+            f"{params.get('scenario')!r}; known: {list(RELIABILITY_SCENARIOS)}"
+        )
+    return FaultPlan.from_faults(params["faults"], name="fuzz")
+
+
+# ---------------------------------------------------------------------------
 # Canonical-serialization payloads (spec trees → Python values)
 
 

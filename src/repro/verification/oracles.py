@@ -25,6 +25,11 @@ oracle                  cross-checked implementations
                         exact solution-set equality on bipartite,
                         S-solution, hypergraph-incidence and lifted
                         instances, with UNSAT answers RUP-certified
+``reliability``         faulted service/exploration runs (explicit fault
+                        plans through :mod:`repro.reliability.chaos`) vs
+                        fault-free baselines: record-byte parity,
+                        exactly-once re-dispatch, bounded recovery
+                        recompute
 ======================  ====================================================
 
 Each oracle generates its own random cases (JSON-able dicts, see
@@ -53,12 +58,14 @@ from repro.utils.serialization import canonical_dumps, result_digest, to_jsonabl
 from repro.verification.generators import (
     MAX_SOLVER_EDGES,
     build_colored_graph,
+    build_fault_plan,
     build_problem,
     build_sat_case,
     build_support_graph,
     build_value,
     random_colored_graph_params,
     random_engine_case_params,
+    random_fault_plan_params,
     random_problem_params,
     random_sat_case_params,
     random_supported_instance_params,
@@ -656,6 +663,75 @@ class ExploreOracle(Oracle):
 
 
 # ---------------------------------------------------------------------------
+# reliability: faulted runs vs fault-free baselines (the chaos harness)
+
+
+#: Memoized fault-free baselines per scenario.  The clean run is
+#: identical for every fault plan by the determinism contract, so one
+#: baseline serves an entire fuzz session.
+_RELIABILITY_BASELINES: dict[str, dict] = {}
+
+
+def _reliability_baseline(scenario: str) -> dict:
+    if scenario not in _RELIABILITY_BASELINES:
+        from repro.reliability import chaos
+
+        _RELIABILITY_BASELINES[scenario] = (
+            chaos.explore_baseline()
+            if scenario == "explore"
+            else chaos.service_baseline()
+        )
+    return _RELIABILITY_BASELINES[scenario]
+
+
+class ReliabilityOracle(Oracle):
+    name = "reliability"
+    description = (
+        "faulted vs fault-free runs: byte parity, exactly-once re-dispatch"
+    )
+
+    def generate(self, rng: random.Random) -> dict:
+        return random_fault_plan_params(rng)
+
+    def check(self, params: dict) -> str | None:
+        import tempfile
+
+        from repro.reliability import chaos
+
+        plan = build_fault_plan(params)
+        scenario = params["scenario"]
+        baseline = _reliability_baseline(scenario)
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as workdir:
+            case = chaos.run_case(scenario, plan, workdir, baseline=baseline)
+        # ``retry_budget_exhausted`` without a failure is the invariant's
+        # carve-out, not a finding; any recorded failure is one.
+        if case["failures"]:
+            return case["failures"][0]
+        return None
+
+    def shrink(self, params: dict) -> Iterator[dict]:
+        faults = params["faults"]
+        if len(faults) > 1:
+            for index in range(len(faults)):
+                yield {
+                    **params,
+                    "faults": [
+                        fault
+                        for position, fault in enumerate(faults)
+                        if position != index
+                    ],
+                }
+        # Weaken surviving faults toward the first hit (earlier hits are
+        # easier to reason about in a minimized artifact).
+        taken = {(site, hit) for site, hit, _kind in faults}
+        for index, (site, hit, kind) in enumerate(faults):
+            if hit > 1 and (site, hit - 1) not in taken:
+                weakened = [list(fault) for fault in faults]
+                weakened[index] = [site, hit - 1, kind]
+                yield {**params, "faults": sorted(weakened)}
+
+
+# ---------------------------------------------------------------------------
 # Registry
 
 
@@ -669,6 +745,7 @@ ORACLES: dict[str, Oracle] = {
         SerializationOracle(),
         ViewsOracle(),
         ExploreOracle(),
+        ReliabilityOracle(),
     )
 }
 

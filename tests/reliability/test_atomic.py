@@ -1,0 +1,176 @@
+"""Crash-safe storage primitives: atomicity, checksums, quarantine, sweep."""
+
+import json
+import os
+
+import pytest
+
+from repro.reliability.atomic import (
+    CHECKSUM_KEY,
+    QUARANTINE_DIR,
+    CorruptEntryError,
+    body_checksum,
+    open_with_recovery,
+    quarantine_entry,
+    read_checked_json,
+    sweep_tree,
+    write_checked_json,
+)
+from repro.reliability.faults import (
+    FaultClock,
+    FaultPlan,
+    StorageFault,
+    TornWriteFault,
+)
+
+
+def clock_for(*faults):
+    return FaultClock(FaultPlan.from_faults(list(faults)))
+
+
+class TestWriteReadRoundTrip:
+    def test_round_trip_strips_the_footer(self, tmp_path):
+        path = tmp_path / "entry.json"
+        write_checked_json(path, {"a": 1, "b": [2, 3]})
+        assert read_checked_json(path) == {"a": 1, "b": [2, 3]}
+        assert json.loads(path.read_text())[CHECKSUM_KEY] == body_checksum(
+            {"a": 1, "b": [2, 3]}
+        )
+
+    def test_write_replaces_atomically(self, tmp_path):
+        path = tmp_path / "entry.json"
+        write_checked_json(path, {"v": 1})
+        write_checked_json(path, {"v": 2})
+        assert read_checked_json(path) == {"v": 2}
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_legacy_entry_without_footer_accepted(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text('{"old": true}')
+        assert read_checked_json(path) == {"old": True}
+
+
+class TestCorruptionDetection:
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.write_text(""),
+            lambda p: p.write_text(p.read_text()[: len(p.read_text()) // 2]),
+            lambda p: p.write_text("not json {{{"),
+            lambda p: p.write_text("[1, 2, 3]"),
+        ],
+        ids=["zero-byte", "truncated", "bad-json", "non-object"],
+    )
+    def test_damaged_entries_raise(self, tmp_path, mutate):
+        path = tmp_path / "entry.json"
+        write_checked_json(path, {"payload": list(range(40))})
+        mutate(path)
+        with pytest.raises(CorruptEntryError):
+            read_checked_json(path)
+
+    def test_bad_checksum_raises(self, tmp_path):
+        path = tmp_path / "entry.json"
+        write_checked_json(path, {"v": 1})
+        body = json.loads(path.read_text())
+        body["v"] = 2  # tamper without refreshing the footer
+        path.write_text(json.dumps(body))
+        with pytest.raises(CorruptEntryError):
+            read_checked_json(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CorruptEntryError):
+            read_checked_json(tmp_path / "absent.json")
+
+
+class TestInjectedFaults:
+    def test_error_fault_writes_nothing(self, tmp_path):
+        clock = clock_for(("store.write", 1, "error"))
+        path = tmp_path / "entry.json"
+        with pytest.raises(StorageFault):
+            write_checked_json(path, {"v": 1}, fault_clock=clock, site="store.write")
+        assert not path.exists()
+
+    def test_torn_write_tears_only_the_tmp(self, tmp_path):
+        clock = clock_for(("store.write", 1, "torn_write"))
+        path = tmp_path / "entry.json"
+        write_checked_json(path, {"v": 1})
+        with pytest.raises(TornWriteFault):
+            write_checked_json(path, {"v": 2}, fault_clock=clock, site="store.write")
+        # The visible entry is still the previous complete version; the
+        # torn bytes live in a stray *.tmp for recovery to sweep.
+        assert read_checked_json(path) == {"v": 1}
+        assert list(tmp_path.glob("*.tmp"))
+
+    def test_corrupt_fault_is_silent_but_checksums_catch_it(self, tmp_path):
+        clock = clock_for(("store.write", 1, "corrupt"))
+        path = tmp_path / "entry.json"
+        write_checked_json(path, {"v": 1}, fault_clock=clock, site="store.write")
+        assert path.exists()  # the write "succeeded"
+        with pytest.raises(CorruptEntryError):
+            read_checked_json(path)
+
+
+class TestQuarantine:
+    def test_moves_not_deletes(self, tmp_path):
+        path = tmp_path / "sub" / "bad.json"
+        path.parent.mkdir()
+        path.write_text("garbage")
+        home = quarantine_entry(path, tmp_path)
+        assert not path.exists()
+        assert home == tmp_path / QUARANTINE_DIR / "bad.json"
+        assert home.read_text() == "garbage"
+
+    def test_collisions_get_numeric_suffixes(self, tmp_path):
+        for round_number in range(3):
+            path = tmp_path / "bad.json"
+            path.write_text(f"garbage {round_number}")
+            quarantine_entry(path, tmp_path)
+        names = sorted(p.name for p in (tmp_path / QUARANTINE_DIR).iterdir())
+        assert names == ["bad.json", "bad.json.1", "bad.json.2"]
+
+    def test_vanished_entry_returns_none(self, tmp_path):
+        assert quarantine_entry(tmp_path / "gone.json", tmp_path) is None
+
+
+class TestSweepAndRecovery:
+    def _populate(self, root):
+        write_checked_json(root / "nodes" / "good.json", {"v": 1})
+        write_checked_json(root / "nodes" / "bad.json", {"v": 2})
+        (root / "nodes" / "bad.json").write_text("torn{")
+        (root / "nodes" / "stray.json.123.tmp").write_text("half")
+
+    def test_sweep_quarantines_and_removes_tmp(self, tmp_path):
+        self._populate(tmp_path)
+        summary = sweep_tree(tmp_path, ("nodes",))
+        assert summary == {"checked": 2, "quarantined": 1, "tmp_removed": 1}
+        assert (tmp_path / QUARANTINE_DIR / "bad.json").exists()
+        assert read_checked_json(tmp_path / "nodes" / "good.json") == {"v": 1}
+
+    def test_graceful_manifest_skips_the_sweep(self, tmp_path):
+        self._populate(tmp_path)
+        write_checked_json(tmp_path / "manifest.json", {"entries": 2})
+        summary = open_with_recovery(tmp_path, ("nodes",))
+        assert summary["graceful"] is True
+        assert summary["checked"] == 0
+        # Lazy validation: the bad entry is still in place, to be caught
+        # (and quarantined) on first read.
+        assert (tmp_path / "nodes" / "bad.json").exists()
+
+    def test_missing_manifest_sweeps_eagerly(self, tmp_path):
+        self._populate(tmp_path)
+        summary = open_with_recovery(tmp_path, ("nodes",))
+        assert summary == {
+            "graceful": False, "checked": 2, "quarantined": 1, "tmp_removed": 1,
+        }
+
+    def test_corrupt_manifest_is_quarantined_and_sweeps(self, tmp_path):
+        self._populate(tmp_path)
+        (tmp_path / "manifest.json").write_text("{broken")
+        summary = open_with_recovery(tmp_path, ("nodes",))
+        assert summary["graceful"] is False
+        assert (tmp_path / QUARANTINE_DIR / "manifest.json").exists()
+
+    def test_creates_subdirectories(self, tmp_path):
+        open_with_recovery(tmp_path / "fresh", ("a", "b"))
+        assert (tmp_path / "fresh" / "a").is_dir()
+        assert (tmp_path / "fresh" / "b").is_dir()

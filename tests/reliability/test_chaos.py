@@ -1,0 +1,159 @@
+"""The chaos harness: byte parity under faults, plan minimization."""
+
+import pytest
+
+from repro.reliability.chaos import (
+    SCENARIO_SITES,
+    SCENARIOS,
+    chaos_matrix,
+    explore_baseline,
+    minimize_plan,
+    run_case,
+    run_explore_case,
+    run_service_case,
+    run_transport_case,
+    seeded_case_plan,
+    service_baseline,
+)
+from repro.reliability.faults import FAULT_SITES, FaultPlan
+from repro.utils import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def service_clean():
+    return service_baseline()
+
+
+@pytest.fixture(scope="module")
+def explore_clean():
+    return explore_baseline()
+
+
+class TestBaselines:
+    def test_service_baseline_shape(self, service_clean):
+        assert len(service_clean["bodies"]) == 5
+        assert all(isinstance(body, str) for body in service_clean["bodies"])
+        # Request 3 duplicates request 0: the cache answers it, so only
+        # four distinct computations run in a clean pass.
+        assert service_clean["bodies"][3] == service_clean["bodies"][0]
+        assert service_clean["executions"] == 4
+
+    def test_explore_baseline_is_reproducible(self, explore_clean):
+        assert explore_clean["bytes"] == explore_baseline()["bytes"]
+
+
+class TestScenarioPlans:
+    def test_seeded_case_plans_are_deterministic(self):
+        for scenario in SCENARIOS:
+            plan = seeded_case_plan(scenario, 3)
+            assert plan == seeded_case_plan(scenario, 3)
+            assert {spec.site for spec in plan.faults} <= set(
+                SCENARIO_SITES[scenario]
+            )
+
+    def test_scenario_sites_are_catalog_sites(self):
+        for scenario, sites in SCENARIO_SITES.items():
+            assert set(sites) <= set(FAULT_SITES), scenario
+
+
+class TestServiceCase:
+    def test_storage_faults_preserve_bytes(self, tmp_path, service_clean):
+        plan = FaultPlan.from_faults(
+            [("cache.write", 1, "torn_write"), ("cache.write", 3, "corrupt")]
+        )
+        case = run_service_case(plan, tmp_path, baseline=service_clean)
+        assert case["ok"], case["failures"]
+        assert case["cold"]["executions"] == service_clean["executions"]
+        # Exactly the two lost entries may be recomputed after restart.
+        assert case["warm"]["solves_computed"] <= 2
+        assert case["warm"]["recovery"]["graceful"] is False
+
+    def test_crash_and_hang_heal_without_extra_executions(
+        self, tmp_path, service_clean
+    ):
+        plan = FaultPlan.from_faults(
+            [("worker.exec", 1, "crash"), ("worker.exec", 3, "hang")]
+        )
+        case = run_service_case(plan, tmp_path, baseline=service_clean)
+        assert case["ok"], case["failures"]
+        assert case["cold"]["executions"] == service_clean["executions"]
+        assert len(case["cold"]["faults_fired"]) == 2
+
+
+class TestExploreCase:
+    def test_store_faults_preserve_report_bytes(self, tmp_path, explore_clean):
+        plan = FaultPlan.from_faults(
+            [("store.write", 1, "corrupt"), ("store.write", 3, "torn_write")]
+        )
+        case = run_explore_case(plan, tmp_path, baseline=explore_clean)
+        assert case["ok"], case["failures"]
+        # A completed exploration flushes its manifest, so the reopen is
+        # graceful — and still recomputes at most the lost entries.
+        assert case["recovery"]["graceful"] is True
+        assert case["warm"]["computed"] <= case["warm"]["lossy_faults"]
+        assert len(case["cold"]["faults_fired"]) == 2
+
+
+class TestTransportCase:
+    def test_connection_drops_are_retried_transparently(
+        self, tmp_path, service_clean
+    ):
+        plan = FaultPlan.from_faults(
+            [("client.send", 1, "drop"), ("client.recv", 2, "drop")]
+        )
+        case = run_transport_case(plan, tmp_path, baseline=service_clean)
+        assert case["ok"], case["failures"]
+        assert case["cold"]["retried"] >= 2
+
+
+class TestDispatch:
+    def test_unknown_scenario_rejected(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            run_case("nope", FaultPlan(), tmp_path)
+
+
+class TestMinimizePlan:
+    def test_shrinks_to_the_single_culprit(self):
+        plan = FaultPlan.from_faults(
+            [
+                ("cache.write", 1, "error"),
+                ("store.write", 2, "corrupt"),
+                ("worker.exec", 3, "crash"),
+            ]
+        )
+
+        def still_fails(candidate):
+            return any(
+                spec.site == "store.write" for spec in candidate.faults
+            )
+
+        minimized = minimize_plan(plan, still_fails)
+        assert [spec.site for spec in minimized.faults] == ["store.write"]
+
+    def test_keeps_a_jointly_necessary_pair(self):
+        plan = FaultPlan.from_faults(
+            [
+                ("cache.write", 1, "error"),
+                ("store.write", 2, "corrupt"),
+                ("worker.exec", 3, "crash"),
+            ]
+        )
+
+        def still_fails(candidate):
+            sites = {spec.site for spec in candidate.faults}
+            return {"cache.write", "worker.exec"} <= sites
+
+        minimized = minimize_plan(plan, still_fails)
+        assert [spec.site for spec in minimized.faults] == [
+            "cache.write",
+            "worker.exec",
+        ]
+
+
+class TestMatrix:
+    def test_explore_matrix_aggregates_green(self, tmp_path, explore_clean):
+        summary = chaos_matrix([0, 1], tmp_path, scenarios=("explore",))
+        assert summary["ok"] is True
+        assert summary["failures"] == []
+        assert len(summary["cases"]) == 2
+        assert {case["scenario"] for case in summary["cases"]} == {"explore"}

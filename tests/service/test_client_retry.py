@@ -1,0 +1,216 @@
+"""ServiceClient resilience: timeouts, backoff, Retry-After, exhaustion."""
+
+import json
+import random
+import socket
+import threading
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+import pytest
+
+from repro.reliability.faults import FaultClock, FaultPlan
+from repro.service.client import ServiceClient, ServiceUnavailableError
+from repro.utils import InvalidParameterError
+
+
+def closed_port() -> int:
+    """A port nothing listens on (bound once, then released)."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class _Script(BaseHTTPRequestHandler):
+    """Serves a scripted list of responses, one per request."""
+
+    script = []
+    served = []
+
+    def _reply(self):
+        if not self.script:
+            status, headers, body = 200, {}, json.dumps({"status": "ok"})
+        else:
+            status, headers, body = self.script.pop(0)
+        type(self).served.append(status)
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        for key, value in headers.items():
+            self.send_header(key, value)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    do_GET = _reply
+    do_POST = _reply
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+
+@pytest.fixture
+def scripted_server():
+    """A throwaway HTTP server whose responses the test scripts."""
+    server = HTTPServer(("127.0.0.1", 0), _Script)
+    _Script.script = []
+    _Script.served = []
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    thread.join(timeout=5)
+    server.server_close()
+
+
+def url_of(server) -> str:
+    host, port = server.server_address[:2]
+    return f"http://{host}:{port}"
+
+
+class SleepRecorder:
+    def __init__(self):
+        self.delays = []
+
+    def __call__(self, delay):
+        self.delays.append(delay)
+
+
+class TestConstruction:
+    def test_non_http_url_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ServiceClient("ftp://example")
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ServiceClient("http://127.0.0.1:1", retries=-1)
+
+
+class TestBackoffSchedule:
+    def _client(self, **kwargs):
+        return ServiceClient(
+            "http://127.0.0.1:1",
+            backoff=0.2,
+            max_backoff=5.0,
+            jitter=0.0,
+            **kwargs,
+        )
+
+    def test_exponential_doubling_with_cap(self):
+        client = self._client()
+        assert client._delay(1, None) == pytest.approx(0.2)
+        assert client._delay(2, None) == pytest.approx(0.4)
+        assert client._delay(3, None) == pytest.approx(0.8)
+        assert client._delay(10, None) == pytest.approx(5.0)  # capped
+
+    def test_jitter_scales_the_base(self):
+        client = ServiceClient(
+            "http://127.0.0.1:1",
+            backoff=1.0,
+            jitter=0.5,
+            rng=random.Random(0),
+        )
+        delay = client._delay(1, None)
+        assert 1.0 <= delay <= 1.5
+
+    def test_server_hint_replaces_the_backoff(self):
+        client = self._client()
+        assert client._delay(1, 2.0) == pytest.approx(2.0)
+        assert client._delay(1, 99.0) == pytest.approx(5.0)  # capped
+        assert client._delay(1, -3.0) == pytest.approx(0.0)  # floored
+
+
+class TestRetryLoop:
+    def test_exhaustion_carries_the_attempt_count(self):
+        sleeps = SleepRecorder()
+        client = ServiceClient(
+            f"http://127.0.0.1:{closed_port()}",
+            retries=2,
+            backoff=0.01,
+            jitter=0.0,
+            sleep=sleeps,
+        )
+        with pytest.raises(ServiceUnavailableError) as info:
+            client.status()
+        assert info.value.attempts == 3
+        assert len(sleeps.delays) == 2  # a sleep before each retry
+        assert client.stats == {"attempts": 3, "retried": 2}
+
+    def test_503_is_retried_with_the_retry_after_hint(self, scripted_server):
+        _Script.script = [
+            (503, {"Retry-After": "2"}, json.dumps(
+                {"status": "error", "error": {"code": "overloaded"}}
+            )),
+        ]
+        sleeps = SleepRecorder()
+        client = ServiceClient(
+            url_of(scripted_server), retries=2, jitter=0.0, sleep=sleeps
+        )
+        assert client.status() == {"status": "ok"}
+        assert sleeps.delays == [pytest.approx(2.0)]
+        assert _Script.served == [503, 200]
+
+    def test_non_json_body_fails_immediately(self, scripted_server):
+        _Script.script = [(200, {"Content-Type": "text/html"}, "<html>proxy</html>")]
+        sleeps = SleepRecorder()
+        client = ServiceClient(url_of(scripted_server), retries=3, sleep=sleeps)
+        with pytest.raises(ServiceUnavailableError) as info:
+            client.status()
+        assert info.value.attempts == 1  # retrying cannot help
+        assert sleeps.delays == []
+
+    def test_read_timeout_is_a_transient_failure(self):
+        """A server that accepts but never answers must trip the read
+        deadline, not hang the caller."""
+        gate = threading.Event()
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def hold():
+            connection, _addr = listener.accept()
+            gate.wait(timeout=10)
+            connection.close()
+
+        thread = threading.Thread(target=hold, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(
+                f"http://127.0.0.1:{port}",
+                timeout=0.2,
+                connect_timeout=0.2,
+                retries=0,
+                sleep=SleepRecorder(),
+            )
+            with pytest.raises(ServiceUnavailableError) as info:
+                client.status()
+            assert info.value.attempts == 1
+        finally:
+            gate.set()
+            listener.close()
+            thread.join(timeout=5)
+
+    def test_injected_drops_are_retried(self, scripted_server):
+        clock = FaultClock(FaultPlan.from_faults(
+            [("client.send", 1, "drop"), ("client.recv", 1, "drop")]
+        ))
+        sleeps = SleepRecorder()
+        client = ServiceClient(
+            url_of(scripted_server),
+            retries=3,
+            backoff=0.01,
+            jitter=0.0,
+            sleep=sleeps,
+            fault_clock=clock,
+        )
+        assert client.status() == {"status": "ok"}
+        assert client.stats["retried"] == 2
+        assert clock.exhausted()
+
+    def test_ping_maps_reachability_to_bool(self, scripted_server):
+        assert ServiceClient(url_of(scripted_server)).ping() is True
+        dead = ServiceClient(
+            f"http://127.0.0.1:{closed_port()}",
+            retries=0,
+            sleep=SleepRecorder(),
+        )
+        assert dead.ping() is False

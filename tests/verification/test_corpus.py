@@ -5,6 +5,7 @@ from pathlib import Path
 import pytest
 
 from repro.utils import InvalidParameterError
+from repro.verification.oracles import ORACLES
 from repro.verification.corpus import (
     CORPUS_SCHEMA,
     case_id,
@@ -76,9 +77,10 @@ class TestCommittedCorpus:
         paths = corpus_files(COMMITTED_CORPUS)
         assert len(paths) >= 8, "seed corpus went missing"
         oracles = {load_entry(path)["oracle"] for path in paths}
-        # Every oracle family is guarded by at least one committed entry
-        # (serialization has one; the other four have two each).
-        assert {"roundelim", "engines", "solver", "serialization", "views"} <= oracles
+        # Every registered oracle family is guarded by at least one
+        # committed entry — adding an oracle without a corpus guard
+        # fails here.
+        assert set(ORACLES) <= oracles
 
     def test_filenames_match_entry_identity(self):
         for path in corpus_files(COMMITTED_CORPUS):

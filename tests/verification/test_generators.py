@@ -7,12 +7,15 @@ import networkx as nx
 
 from repro.verification.generators import (
     MAX_SOLVER_EDGES,
+    RELIABILITY_SCENARIOS,
     build_colored_graph,
+    build_fault_plan,
     build_problem,
     build_support_graph,
     build_value,
     random_colored_graph_params,
     random_engine_case_params,
+    random_fault_plan_params,
     random_problem_params,
     random_supported_instance_params,
     random_value_tree,
@@ -80,3 +83,32 @@ def test_value_trees_build_to_python_values():
     for seed in SEEDS:
         tree = random_value_tree(random.Random(f"v:{seed}"))
         build_value(tree)  # must not raise (hashability of set members etc.)
+
+
+def test_fault_plan_params_build_valid_scenario_bound_plans():
+    from repro.reliability.chaos import SCENARIO_SITES
+
+    for seed in SEEDS:
+        params = random_fault_plan_params(random.Random(f"f:{seed}"))
+        assert params == json.loads(json.dumps(params))  # plain JSON
+        assert params["scenario"] in RELIABILITY_SCENARIOS
+        plan = build_fault_plan(params)
+        assert len(plan) >= 1
+        allowed = set(SCENARIO_SITES[params["scenario"]])
+        assert {spec.site for spec in plan.faults} <= allowed
+
+
+def test_fault_plan_params_are_deterministic_per_seed():
+    for seed in SEEDS:
+        first = random_fault_plan_params(random.Random(f"f:{seed}"))
+        second = random_fault_plan_params(random.Random(f"f:{seed}"))
+        assert first == second
+
+
+def test_build_fault_plan_rejects_unknown_scenarios():
+    import pytest
+
+    from repro.utils import InvalidParameterError
+
+    with pytest.raises(InvalidParameterError):
+        build_fault_plan({"scenario": "transport", "faults": []})

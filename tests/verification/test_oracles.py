@@ -38,6 +38,7 @@ def test_registry_listing_and_resolution():
         "serialization",
         "views",
         "explore",
+        "reliability",
     } == set(ORACLES)
     assert resolve_oracle("solver") is ORACLES["solver"]
     with pytest.raises(InvalidParameterError):
@@ -145,6 +146,29 @@ def test_serialization_oracle_catches_a_nonidempotent_encoder(monkeypatch):
     failure = _first_failure("serialization", attempts=10)
     assert failure is not None
     assert "idempotent" in failure[1]
+
+
+def test_reliability_oracle_catches_a_double_dispatch(monkeypatch):
+    """Sensitivity: re-dispatching a crashed request *twice* (the classic
+    at-least-once bug exactly-once supervision exists to prevent) must
+    surface as an execution-count mismatch against the clean run —
+    record bytes alone cannot see it because solves are deterministic."""
+    from repro.reliability.supervise import SupervisedWorkerPool
+
+    real = SupervisedWorkerPool._redispatch
+
+    def twice(self, canonical):
+        real(self, canonical)
+        return real(self, canonical)
+
+    monkeypatch.setattr(SupervisedWorkerPool, "_redispatch", twice)
+    params = {
+        "scenario": "service",
+        "faults": [["worker.exec", 1, "crash"]],
+    }
+    detail = run_check(ORACLES["reliability"], params)
+    assert detail is not None
+    assert "exactly-once" in detail
 
 
 def test_views_oracle_catches_a_locality_leak(monkeypatch):
