@@ -17,7 +17,7 @@ from collections.abc import Callable
 import networkx as nx
 
 from repro.api.registry import Algorithm, register_algorithm
-from repro.api.types import MessagePassingProgram, ProblemSpec
+from repro.api.types import MessagePassingProgram, ProblemSpec, VectorizedSpec
 from repro.graphs.double_cover import mark_bipartition
 from repro.local.network import Network
 from repro.local.simulator import NodeAlgorithm, RunResult, run_synchronous
@@ -73,16 +73,21 @@ class _ProposalNode(NodeAlgorithm):
             self.halt({"matched": self.matched_port})
 
 
+def input_delta_prime(input_edges: frozenset) -> int:
+    """Δ′: the maximum degree of the input graph G′ = ``input_edges``."""
+    input_graph_degrees: dict = {}
+    for edge in input_edges:
+        for endpoint in edge:
+            input_graph_degrees[endpoint] = input_graph_degrees.get(endpoint, 0) + 1
+    return max(input_graph_degrees.values(), default=0)
+
+
 def proposal_extra(network: Network, input_edges: frozenset) -> Callable:
     """The per-node knowledge of the proposal algorithm: own color, input
     ports (ports leading into G′) and Δ′ (part of the model's initial
     knowledge)."""
     support = network.graph
-    input_graph_degrees: dict = {}
-    for edge in input_edges:
-        for endpoint in edge:
-            input_graph_degrees[endpoint] = input_graph_degrees.get(endpoint, 0) + 1
-    delta_prime = max(input_graph_degrees.values(), default=0)
+    delta_prime = input_delta_prime(input_edges)
 
     def extra(node) -> dict:
         input_ports = sorted(
@@ -149,13 +154,25 @@ class ProposalMatching(Algorithm):
         support = network.graph
         if any("color" not in support.nodes[node] for node in support.nodes):
             mark_bipartition(support)
-        input_edges = options.get("input_edges")
-        if input_edges is None:
-            input_edges = frozenset(frozenset(edge) for edge in support.edges)
+        restricted = options.get("input_edges") is not None
+        if restricted:
+            input_edges = frozenset(
+                frozenset(edge) for edge in options["input_edges"]
+            )
         else:
-            input_edges = frozenset(frozenset(edge) for edge in input_edges)
+            input_edges = frozenset(frozenset(edge) for edge in support.edges)
         return MessagePassingProgram(
-            factory=_ProposalNode, extra=proposal_extra(network, input_edges)
+            factory=_ProposalNode,
+            extra=proposal_extra(network, input_edges),
+            vectorized=VectorizedSpec(
+                kernel="matching:proposal",
+                data={
+                    # None ⇒ G′ = G: every port is an input port, and the
+                    # kernel skips the per-edge membership scan.
+                    "input_edges": input_edges if restricted else None,
+                    "delta_prime": input_delta_prime(input_edges),
+                },
+            ),
         )
 
     def finalize(

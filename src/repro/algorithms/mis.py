@@ -18,7 +18,7 @@ from collections.abc import Callable
 import networkx as nx
 
 from repro.api.registry import Algorithm, register_algorithm
-from repro.api.types import MessagePassingProgram, ProblemSpec
+from repro.api.types import MessagePassingProgram, ProblemSpec, VectorizedSpec
 from repro.graphs.chromatic import greedy_coloring
 from repro.local.network import Network
 from repro.local.simulator import NodeAlgorithm, RunResult, run_synchronous
@@ -174,7 +174,14 @@ class SupportedMIS(Algorithm):
         def extra(node) -> dict:
             return {"color": coloring[node], "num_colors": num_colors}
 
-        return MessagePassingProgram(factory=_ColorClassMISNode, extra=extra)
+        return MessagePassingProgram(
+            factory=_ColorClassMISNode,
+            extra=extra,
+            vectorized=VectorizedSpec(
+                kernel="mis:class-sweep",
+                data={"coloring": coloring, "num_colors": num_colors},
+            ),
+        )
 
     def finalize(
         self, network: Network, spec: ProblemSpec, options: dict, outputs: dict
@@ -194,7 +201,9 @@ class LubyMIS(Algorithm):
         self, network: Network, spec: ProblemSpec, options: dict
     ) -> MessagePassingProgram:
         return MessagePassingProgram(
-            factory=_LubyNode, rng_streams=luby_rng_streams
+            factory=_LubyNode,
+            rng_streams=luby_rng_streams,
+            vectorized=VectorizedSpec(kernel="mis:luby"),
         )
 
     def finalize(

@@ -11,7 +11,7 @@ same delivered/dropped counters, same protocol-violation errors — the
 property CI's engine-parity job and ``tests/api/test_engine_parity.py``
 enforce.  Only speed may differ.
 
-Two backends ship:
+Three backends ship:
 
 * ``"object"`` — the reference engine,
   :func:`repro.local.simulator.run_synchronous`, unchanged;
@@ -19,7 +19,12 @@ Two backends ship:
   the network into CSR-style adjacency arrays and runs send/deliver/
   receive as per-round batch loops over preallocated inboxes (measured
   ≥1.5× on the matching suite at n ≥ 2000; see
-  ``benchmarks/bench_engines.py``).
+  ``benchmarks/bench_engines.py``);
+* ``"vectorized"`` — :func:`repro.local.vectorized.run_vectorized`, which
+  runs opted-in algorithms as numpy struct-of-arrays kernels with zero
+  per-node Python in the hot loop (and falls back to object semantics
+  for the rest).  numpy is an optional extra: the engine registers only
+  where numpy imports, and is simply absent otherwise.
 """
 
 from __future__ import annotations
@@ -86,6 +91,37 @@ class _SimulatorEngine(Engine):
         )
 
 
+class _VectorizedEngine(_SimulatorEngine):
+    """The vectorized engine: same runner protocol plus the kernel spec.
+
+    Identical to :class:`_SimulatorEngine` except that the program's
+    :class:`~repro.api.types.VectorizedSpec` is forwarded so the runner
+    can pick a batch kernel (or fall back to object semantics).
+    """
+
+    def run(
+        self,
+        network: Network,
+        program: MessagePassingProgram,
+        *,
+        seed: int = 0,
+        max_rounds: int = 10_000,
+        probe: Callable[[RoundTrace], None] | None = None,
+    ) -> RunResult:
+        rng_for = (
+            program.rng_streams(network, seed) if program.rng_streams else None
+        )
+        return self._runner(
+            network,
+            program.factory,
+            max_rounds=max_rounds,
+            extra=program.extra,
+            rng_for=rng_for,
+            on_round=probe,
+            vectorized=program.vectorized,
+        )
+
+
 def register_engine(engine: Engine) -> Engine:
     """Register (and return) an engine instance under its name."""
     if not engine.name:
@@ -111,3 +147,10 @@ def resolve_engine(engine: "Engine | str") -> Engine:
 
 register_engine(_SimulatorEngine("object", run_synchronous))
 register_engine(_SimulatorEngine("batched", run_batched))
+
+try:
+    from repro.local.vectorized import run_vectorized
+except ModuleNotFoundError:  # numpy is an optional extra
+    pass
+else:
+    register_engine(_VectorizedEngine("vectorized", run_vectorized))

@@ -95,6 +95,23 @@ class ProblemSpec:
 
 
 @dataclass(frozen=True)
+class VectorizedSpec:
+    """An algorithm's opt-in to the vectorized (struct-of-arrays) engine.
+
+    ``kernel`` names a batch implementation in the vectorized engine's
+    kernel registry (:data:`repro.local.vectorized.KERNELS`); ``data``
+    carries the per-run knowledge that implementation needs — the same
+    information ``extra`` closes over, but in bulk form (a coloring dict,
+    an input-edge set) instead of a per-node callable.  The spec itself
+    is plain data: building one never imports numpy, so algorithms can
+    always attach it and engines that cannot use it simply ignore it.
+    """
+
+    kernel: str
+    data: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
 class MessagePassingProgram:
     """A bound message-passing computation, ready for any engine.
 
@@ -102,7 +119,10 @@ class MessagePassingProgram:
     injects per-node auxiliary knowledge; ``rng_streams`` (for randomized
     algorithms) maps ``(network, seed)`` to a per-node random source in a
     way that depends only on the network and seed — never on the engine —
-    so every backend draws identical randomness.
+    so every backend draws identical randomness.  ``vectorized``
+    (optional) declares a batch implementation for the vectorized engine;
+    engines without batch support ignore it, and the vectorized engine
+    falls back to per-node object semantics when it is absent.
     """
 
     factory: Callable[[NodeContext], NodeAlgorithm]
@@ -110,6 +130,7 @@ class MessagePassingProgram:
     rng_streams: (
         Callable[[Network, int], Callable[[object], random.Random]] | None
     ) = None
+    vectorized: VectorizedSpec | None = None
 
 
 @dataclass(frozen=True)

@@ -9,6 +9,7 @@ of every family sized to finish well under a minute.
 
 from __future__ import annotations
 
+from repro.api import available_engines
 from repro.experiments.scenarios import Scenario
 from repro.utils import InvalidParameterError
 
@@ -286,7 +287,10 @@ SUITES: dict[str, tuple[Scenario, ...]] = {
     # The solve service (repro.service): cold/warm/duplicate cycles over
     # an in-process daemon, gating byte parity with the direct façade,
     # engine-invariant request digests and exactly-one-solve dedup.  The
-    # -batched twin runs the same cycle from the batched engine side.
+    # -batched (and, where numpy is installed, -vectorized) twins run
+    # the same cycle from the other engine sides; the twin is registered
+    # conditionally so a numpy-less checkout never carries a scenario it
+    # cannot execute.
     "service": (
         Scenario.create(
             "service-roundtrip",
@@ -298,6 +302,18 @@ SUITES: dict[str, tuple[Scenario, ...]] = {
             pipeline="service_roundtrip",
             duplicates=4,
             engine="batched",
+        ),
+        *(
+            (
+                Scenario.create(
+                    "service-roundtrip-vectorized",
+                    pipeline="service_roundtrip",
+                    duplicates=4,
+                    engine="vectorized",
+                ),
+            )
+            if "vectorized" in available_engines()
+            else ()
         ),
     ),
     # The CI gate: one fast scenario per family, sized for < 60 s total.

@@ -160,7 +160,7 @@ def run_batched(
                 if messages:
                     raise SimulationError(
                         f"node {nodes[i]!r} halted during send() but still "
-                        f"emitted messages on ports {sorted(messages)}"
+                        f"emitted messages on ports {sorted(messages, key=str)}"
                     )
                 continue
             if not messages:

@@ -135,15 +135,18 @@ def run_synchronous(
                 continue
             live_nodes += 1
             messages = algorithm.send() or {}
+            # Port keys may be heterogeneous (e.g. {"a": m, 99: m}), so
+            # error paths sort by str: the violation must surface as a
+            # SimulationError, never a TypeError from sorted().
             if algorithm.halted and messages:
                 raise SimulationError(
                     f"node {node!r} halted during send() but still emitted "
-                    f"messages on ports {sorted(messages)}"
+                    f"messages on ports {sorted(messages, key=str)}"
                 )
             stray = set(messages) - set(range(1, network.graph.degree(node) + 1))
             if stray:
                 raise SimulationError(
-                    f"node {node!r} sent on invalid ports {sorted(stray)}"
+                    f"node {node!r} sent on invalid ports {sorted(stray, key=str)}"
                 )
             outbox[node] = messages
         # Inboxes exist only for live nodes: a halted node (including one

@@ -1,0 +1,462 @@
+"""Vectorized synchronous engine: struct-of-arrays rounds over numpy.
+
+The object engine (:func:`repro.local.simulator.run_synchronous`) and the
+batched engine (:func:`repro.local.batched.run_batched`) both execute one
+Python callback per node per round, which caps honest experiments near
+n ≈ 10^4.  This engine removes per-node Python from the hot loop entirely:
+
+* the network is compiled once into numpy CSR arrays
+  (:class:`VectorNetwork`, the array form of
+  :class:`~repro.local.batched.FlatNetwork`) with two delivery maps
+  precomputed — ``owner[k]`` (which node emits half-edge ``k``) and
+  ``reverse[k]`` (the receiver-side half-edge, i.e. inbox slot, that a
+  message along ``k`` lands in);
+* node state lives in struct-of-arrays form — int state vectors, float
+  payload vectors, boolean halted/live masks — owned by a
+  :class:`VectorizedAlgorithm` *kernel*;
+* a round is three whole-array steps: the kernel's :meth:`send_all`
+  returns the emitting half-edges (plus optional payloads), the engine
+  masks out edges whose receiver has halted (the drop rule) and maps the
+  rest through ``reverse``, and :meth:`receive_all` scatters them back
+  into node state.
+
+Algorithms opt in by attaching a :class:`~repro.api.types.VectorizedSpec`
+to their program, naming a kernel registered in :data:`KERNELS`.  Programs
+without a spec (or naming an unknown kernel) fall back to
+:func:`run_synchronous` — per-node object semantics, trivially
+byte-identical.  Ported kernels must reproduce the object engine bit for
+bit: same outputs (Python scalars, not numpy ones), same round count, same
+delivered/dropped counters, same :class:`SimulationError` texts.
+``tests/api/test_engine_parity.py`` and the ``engines`` differential
+oracle enforce this.
+
+Kernel contract (what keeps parity cheap to reason about):
+
+* kernels only halt nodes in :meth:`init_all` / :meth:`receive_all`,
+  never in :meth:`send_all` — so "halted at send time" and "halted after
+  the send phase" coincide and the engine's drop mask is exact;
+* ``halted`` is mutated in place (the engine keeps no copy);
+* :meth:`outputs_all` returns Python-native values (use ``.tolist()``).
+
+numpy is an optional extra: this module raises ``ModuleNotFoundError`` on
+import where numpy is absent, and the engine registry skips the
+``vectorized`` engine in that case.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.local.batched import FlatNetwork
+from repro.local.network import Network
+from repro.local.simulator import (
+    NodeContext,
+    RoundTrace,
+    RunResult,
+    run_synchronous,
+)
+from repro.utils import SimulationError
+
+
+@dataclass(frozen=True)
+class VectorNetwork:
+    """:class:`FlatNetwork` recompiled into numpy CSR + delivery maps.
+
+    ``indptr``/``dest`` are the CSR arrays of the flat form; half-edge
+    ``k = indptr[i] + port - 1`` belongs to (node ``i``, ``port``).  Two
+    derived arrays make whole-array delivery possible: ``owner[k]`` is the
+    dense index of the node emitting ``k`` (the CSR row expanded), and
+    ``reverse[k] = indptr[dest[k]] + back_port[k] - 1`` is the half-edge
+    under which the message arrives at the receiver — scattering payloads
+    from ``k`` to ``reverse[k]`` *is* delivery.
+    """
+
+    nodes: tuple
+    indptr: np.ndarray
+    dest: np.ndarray
+    owner: np.ndarray
+    reverse: np.ndarray
+    degrees: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return len(self.nodes)
+
+    @classmethod
+    def from_network(cls, network: Network) -> "VectorNetwork":
+        flat = FlatNetwork.of(network)
+        indptr = np.asarray(flat.indptr, dtype=np.int64)
+        dest = np.asarray(flat.dest, dtype=np.int64)
+        back_port = np.asarray(flat.back_port, dtype=np.int64)
+        degrees = np.diff(indptr)
+        owner = np.repeat(np.arange(len(flat.nodes), dtype=np.int64), degrees)
+        reverse = indptr[dest] + back_port - 1
+        return cls(
+            nodes=flat.nodes,
+            indptr=indptr,
+            dest=dest,
+            owner=owner,
+            reverse=reverse,
+            degrees=degrees,
+        )
+
+    @classmethod
+    def of(cls, network: Network) -> "VectorNetwork":
+        """The (memoized) array compilation of ``network``."""
+        cached = network.__dict__.get("_vector_network")
+        if cached is None:
+            cached = cls.from_network(network)
+            network.__dict__["_vector_network"] = cached
+        return cached
+
+
+class VectorizedAlgorithm:
+    """Base class for batch (struct-of-arrays) algorithm kernels.
+
+    One instance runs *all* nodes: state is arrays indexed by the dense
+    node order of ``vnet.nodes``.  The life cycle mirrors the per-node
+    protocol — :meth:`init_all` (round 0), then per round
+    :meth:`send_all` / :meth:`receive_all` until every ``halted`` flag is
+    set — but each hook is called once per round, not once per node.
+
+    ``data`` is the :class:`~repro.api.types.VectorizedSpec` payload: the
+    bulk form of what ``extra`` would hand each node.  ``rng_for`` is the
+    per-node random-source mapping for randomized kernels (``None``
+    otherwise); kernels that draw randomness must draw exactly the bits
+    the per-node algorithm would, in node order, to stay byte-identical.
+    """
+
+    def __init__(
+        self,
+        vnet: VectorNetwork,
+        network: Network,
+        data: dict,
+        rng_for: Callable[[object], object] | None = None,
+    ) -> None:
+        self.vnet = vnet
+        self.network = network
+        self.data = data
+        self.rng_for = rng_for
+        self.halted = np.zeros(vnet.n, dtype=bool)
+
+    def init_all(self) -> None:
+        """Round-0 initialization (may halt nodes via ``self.halted``)."""
+
+    def send_all(self, rnd: int) -> tuple[np.ndarray, np.ndarray | None]:
+        """Messages for engine round ``rnd`` (1-based).
+
+        Returns ``(edges, payloads)``: ``edges`` are the emitting
+        half-edge indices (int array) and ``payloads`` an aligned value
+        array, or ``None`` when the message content is implied by the
+        round (a pure announcement).  Must not touch ``self.halted``.
+        """
+        return np.empty(0, dtype=np.int64), None
+
+    def receive_all(
+        self, rnd: int, slots: np.ndarray, payloads: np.ndarray | None
+    ) -> None:
+        """Process round ``rnd``'s deliveries.
+
+        ``slots`` are receiver-side half-edges (``reverse`` of the kept
+        emitting edges): ``owner[slots]`` is the receiving node and
+        ``slots - indptr[owner[slots]] + 1`` the arrival port.  Halting
+        happens here, by setting ``self.halted`` entries in place.
+        """
+
+    def outputs_all(self) -> list:
+        """Per-node outputs in dense node order, as Python-native values."""
+        raise NotImplementedError
+
+
+#: Registry of batch kernels, keyed by ``VectorizedSpec.kernel``.
+KERNELS: dict[str, type[VectorizedAlgorithm]] = {}
+
+
+def register_kernel(name: str, kernel: type[VectorizedAlgorithm]) -> None:
+    KERNELS[name] = kernel
+
+
+def run_vectorized(
+    network: Network,
+    factory: Callable[[NodeContext], object],
+    max_rounds: int = 10_000,
+    extra: Callable[[object], dict] | None = None,
+    rng_for: Callable[[object], object] | None = None,
+    on_round: Callable[[RoundTrace], None] | None = None,
+    vectorized=None,
+) -> RunResult:
+    """Drop-in replacement for :func:`run_synchronous` over numpy arrays.
+
+    ``vectorized`` is the program's :class:`VectorizedSpec` (or ``None``);
+    when it names a registered kernel the whole run is array operations,
+    otherwise the call delegates to :func:`run_synchronous` unchanged —
+    the fallback path for unported algorithms.
+    """
+    kernel_cls = None if vectorized is None else KERNELS.get(vectorized.kernel)
+    if kernel_cls is None:
+        return run_synchronous(
+            network,
+            factory,
+            max_rounds=max_rounds,
+            extra=extra,
+            rng_for=rng_for,
+            on_round=on_round,
+        )
+
+    vnet = VectorNetwork.of(network)
+    kernel = kernel_cls(vnet, network, vectorized.data, rng_for=rng_for)
+    kernel.init_all()
+
+    rounds = 0
+    live = int(vnet.n - np.count_nonzero(kernel.halted))
+    while live:
+        rounds += 1
+        if rounds > max_rounds:
+            raise SimulationError(
+                f"algorithm did not halt within {max_rounds} rounds"
+            )
+        live_nodes = live
+        edges, payloads = kernel.send_all(rounds)
+        # The drop rule, vectorized: messages addressed to a node that
+        # was already halted when the round began are dropped (kernels
+        # never halt during send_all, so the mask is exact).
+        receiver_halted = kernel.halted[vnet.dest[edges]]
+        dropped = int(np.count_nonzero(receiver_halted))
+        delivered = int(edges.shape[0]) - dropped
+        if dropped:
+            keep = ~receiver_halted
+            edges = edges[keep]
+            if payloads is not None:
+                payloads = payloads[keep]
+        kernel.receive_all(rounds, vnet.reverse[edges], payloads)
+        live = int(vnet.n - np.count_nonzero(kernel.halted))
+        if on_round is not None:
+            on_round(
+                RoundTrace(
+                    round=rounds,
+                    live_nodes=live_nodes,
+                    messages_delivered=delivered,
+                    messages_dropped=dropped,
+                )
+            )
+
+    outputs = kernel.outputs_all()
+    return RunResult(outputs=dict(zip(vnet.nodes, outputs)), rounds=rounds)
+
+
+_NO_PROPOSAL = np.iinfo(np.int64).max
+
+
+class ProposalMatchingKernel(VectorizedAlgorithm):
+    """Batch form of the proposal matching (``matching:proposal``).
+
+    ``data``: ``delta_prime`` (the phase budget Δ′, already computed from
+    the input edges by the algorithm) and ``input_edges`` — ``None`` when
+    G′ = G (every port is an input port, the common fast path) or a
+    frozenset of frozenset edges restricting proposals to G′.
+
+    State: ``matched`` holds the matched port (−1 while unmatched),
+    ``next_index`` the next input-port index each white will try, and
+    ``pending`` the port a black must answer with "accept" (−1 when none).
+    Input ports are their own CSR: ``ip_slots[ip_indptr[i] + j]`` is the
+    half-edge of white ``i``'s ``j``-th input port, in ascending port
+    order — exactly ``extra["input_ports"]`` of the per-node algorithm.
+    """
+
+    def __init__(self, vnet, network, data, rng_for=None):
+        super().__init__(vnet, network, data, rng_for=rng_for)
+        attrs = network.graph.nodes
+        self.white = np.fromiter(
+            (attrs[node]["color"] == "white" for node in vnet.nodes),
+            dtype=bool,
+            count=vnet.n,
+        )
+        input_edges = data.get("input_edges")
+        half_edges = int(vnet.dest.shape[0])
+        if input_edges is None:
+            is_input = np.ones(half_edges, dtype=bool)
+        else:
+            nodes = vnet.nodes
+            is_input = np.fromiter(
+                (
+                    frozenset((nodes[i], nodes[j])) in input_edges
+                    for i, j in zip(vnet.owner.tolist(), vnet.dest.tolist())
+                ),
+                dtype=bool,
+                count=half_edges,
+            )
+        self.ip_slots = np.flatnonzero(is_input)
+        self.ip_counts = np.bincount(
+            vnet.owner[is_input], minlength=vnet.n
+        ).astype(np.int64)
+        self.ip_indptr = np.zeros(vnet.n + 1, dtype=np.int64)
+        np.cumsum(self.ip_counts, out=self.ip_indptr[1:])
+        self.total_phases = int(data["delta_prime"])
+        self.matched = np.full(vnet.n, -1, dtype=np.int64)
+        self.next_index = np.zeros(vnet.n, dtype=np.int64)
+        self.pending = np.full(vnet.n, -1, dtype=np.int64)
+
+    def init_all(self):
+        if self.total_phases == 0:
+            self.halted[:] = True
+
+    def send_all(self, rnd):
+        proposing = (rnd - 1) % 2 == 0
+        if proposing:
+            senders = np.flatnonzero(
+                self.white
+                & ~self.halted
+                & (self.matched < 0)
+                & (self.next_index < self.ip_counts)
+            )
+            edges = self.ip_slots[
+                self.ip_indptr[senders] + self.next_index[senders]
+            ]
+        else:
+            senders = np.flatnonzero(
+                ~self.white & ~self.halted & (self.pending >= 0)
+            )
+            edges = self.vnet.indptr[senders] + self.pending[senders] - 1
+            self.pending[senders] = -1
+        return edges, None
+
+    def receive_all(self, rnd, slots, payloads):
+        vnet = self.vnet
+        receivers = vnet.owner[slots]
+        ports = slots - vnet.indptr[receivers] + 1
+        if (rnd - 1) % 2 == 0:
+            # Proposals land at black nodes; each unmatched black takes
+            # the smallest proposing port and queues the accept.
+            best = np.full(vnet.n, _NO_PROPOSAL, dtype=np.int64)
+            np.minimum.at(best, receivers, ports)
+            claim = ~self.white & (self.matched < 0) & (best < _NO_PROPOSAL)
+            self.matched[claim] = best[claim]
+            self.pending[claim] = best[claim]
+        else:
+            # Accepts land at white nodes.  A white receives at most one
+            # accept ever (only the black it matched answers it), so a
+            # plain scatter is faithful; whites whose proposal went
+            # unanswered advance to their next input port.
+            got_accept = np.zeros(vnet.n, dtype=bool)
+            accept_port = np.zeros(vnet.n, dtype=np.int64)
+            got_accept[receivers] = True
+            accept_port[receivers] = ports
+            self.matched[got_accept] = accept_port[got_accept]
+            advance = (
+                self.white & ~self.halted & ~got_accept & (self.matched < 0)
+            )
+            self.next_index[advance] += 1
+        if rnd >= 2 * self.total_phases:
+            self.halted[:] = True
+
+    def outputs_all(self):
+        return [
+            {"matched": port if port >= 0 else None}
+            for port in self.matched.tolist()
+        ]
+
+
+class ColorClassMISKernel(VectorizedAlgorithm):
+    """Batch form of the [AAPR23] color-class sweep (``mis:aapr23``).
+
+    ``data``: the shared ``coloring`` (node → color class) and
+    ``num_colors``.  Color class ``c`` joins in engine round ``c + 1``
+    unless blocked by an earlier-class neighbor; everyone halts together
+    after ``num_colors`` rounds.
+    """
+
+    def __init__(self, vnet, network, data, rng_for=None):
+        super().__init__(vnet, network, data, rng_for=rng_for)
+        coloring = data["coloring"]
+        self.color = np.fromiter(
+            (coloring[node] for node in vnet.nodes),
+            dtype=np.int64,
+            count=vnet.n,
+        )
+        self.num_colors = int(data["num_colors"])
+        self.in_mis = np.zeros(vnet.n, dtype=bool)
+        self.blocked = np.zeros(vnet.n, dtype=bool)
+
+    def init_all(self):
+        if self.num_colors == 0:
+            self.halted[:] = True
+
+    def send_all(self, rnd):
+        joiners = (self.color == rnd - 1) & ~self.blocked & ~self.halted
+        self.in_mis |= joiners
+        edges = np.flatnonzero(joiners[self.vnet.owner])
+        return edges, None
+
+    def receive_all(self, rnd, slots, payloads):
+        self.blocked[self.vnet.owner[slots]] = True
+        if rnd >= self.num_colors:
+            self.halted[:] = True
+
+    def outputs_all(self):
+        return self.in_mis.tolist()
+
+
+class LubyMISKernel(VectorizedAlgorithm):
+    """Batch form of Luby's randomized MIS (``mis:luby``).
+
+    A phase is two engine rounds: (0) every live node draws a fresh value
+    and broadcasts it — a node strictly above *all* values it received
+    (vacuously, above none) moves to "joining"; (1) joiners announce,
+    halt in the MIS, and their still-active neighbors halt out.
+
+    The one deliberately scalar piece is the draw itself: byte parity
+    requires the exact Mersenne Twister stream each per-node
+    ``random.Random`` would produce, so phase-0 draws loop over live
+    nodes in dense order (one ``random()`` call per node per phase, like
+    the object engine) while everything else stays whole-array.
+    """
+
+    def __init__(self, vnet, network, data, rng_for=None):
+        super().__init__(vnet, network, data, rng_for=rng_for)
+        self.rngs = [rng_for(node) for node in vnet.nodes]
+        self.values = np.zeros(vnet.n, dtype=np.float64)
+        self.joining = np.zeros(vnet.n, dtype=bool)
+        self.result = np.zeros(vnet.n, dtype=bool)
+
+    def init_all(self):
+        isolated = self.vnet.degrees == 0
+        self.result[isolated] = True
+        self.halted[isolated] = True
+
+    def send_all(self, rnd):
+        vnet = self.vnet
+        if (rnd - 1) % 2 == 0:
+            active = np.flatnonzero(~self.halted)
+            rngs = self.rngs
+            self.values[active] = [rngs[i].random() for i in active.tolist()]
+            edges = np.flatnonzero(~self.halted[vnet.owner])
+            return edges, self.values[vnet.owner[edges]]
+        edges = np.flatnonzero(self.joining[vnet.owner])
+        return edges, None
+
+    def receive_all(self, rnd, slots, payloads):
+        vnet = self.vnet
+        receivers = vnet.owner[slots]
+        if (rnd - 1) % 2 == 0:
+            best = np.full(vnet.n, -np.inf)
+            np.maximum.at(best, receivers, payloads)
+            self.joining = ~self.halted & (self.values > best)
+        else:
+            got_joined = np.zeros(vnet.n, dtype=bool)
+            got_joined[receivers] = True
+            join = self.joining & ~self.halted
+            out = got_joined & ~self.halted & ~join
+            self.result[join] = True
+            self.halted[join | out] = True
+            self.joining[:] = False
+
+    def outputs_all(self):
+        return self.result.tolist()
+
+
+register_kernel("matching:proposal", ProposalMatchingKernel)
+register_kernel("mis:class-sweep", ColorClassMISKernel)
+register_kernel("mis:luby", LubyMISKernel)

@@ -15,8 +15,9 @@ always safe):
   forever (the urllib default this class replaced had no timeout);
 * transient failures (refused/dropped connections, timeouts, HTTP 503)
   are retried with **exponential backoff + jitter**; a 503 carrying a
-  ``Retry-After`` header (the daemon's overload shedding) is honored —
-  the hint replaces the computed backoff for that attempt;
+  ``Retry-After`` header (the daemon's overload shedding) is honored in
+  both RFC 9110 forms — delta-seconds and HTTP-date — and the hint
+  replaces the computed backoff for that attempt (clamped to the cap);
 * when the retry budget is exhausted, :class:`ServiceUnavailableError`
   is raised carrying ``attempts``.
 
@@ -32,6 +33,8 @@ at the ``client.send`` / ``client.recv`` sites.
 
 from __future__ import annotations
 
+import datetime
+import email.utils
 import http.client
 import json
 import random
@@ -61,6 +64,29 @@ DEFAULT_MAX_BACKOFF = 5.0
 DEFAULT_JITTER = 0.25
 
 
+def _parse_retry_after(value: str, now: float) -> float | None:
+    """Both RFC 9110 ``Retry-After`` forms, as seconds from ``now``.
+
+    ``Retry-After: 120`` (delta-seconds) parses directly; ``Retry-After:
+    Fri, 31 Dec 1999 23:59:59 GMT`` (HTTP-date) becomes the remaining
+    wait relative to ``now``.  Anything unparsable is no hint (``None``);
+    a date already in the past yields a non-positive delta, which the
+    backoff schedule floors at zero.
+    """
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    try:
+        when = email.utils.parsedate_to_datetime(value)
+    except (TypeError, ValueError):
+        return None
+    if when.tzinfo is None:
+        # RFC 9110 requires GMT; a missing zone designator means GMT too.
+        when = when.replace(tzinfo=datetime.timezone.utc)
+    return when.timestamp() - now
+
+
 class ServiceUnavailableError(ReproError):
     """The service could not be reached; carries the attempt count."""
 
@@ -86,6 +112,7 @@ class ServiceClient:
         jitter: float = DEFAULT_JITTER,
         sleep=time.sleep,
         rng: random.Random | None = None,
+        clock=time.time,
         fault_clock: FaultClock | None = None,
     ) -> None:
         if retries < 0:
@@ -107,6 +134,7 @@ class ServiceClient:
         self.jitter = jitter
         self.sleep = sleep
         self.rng = rng if rng is not None else random.Random()
+        self.clock = clock
         self.fault_clock = fault_clock
         self.stats = {"attempts": 0, "retried": 0}
 
@@ -151,10 +179,7 @@ class ServiceClient:
             connection.close()
         hint = None
         if retry_after is not None:
-            try:
-                hint = float(retry_after)
-            except ValueError:
-                hint = None
+            hint = _parse_retry_after(retry_after, self.clock())
         return status, hint, text
 
     def _call(self, path: str, payload: dict | None = None) -> dict:

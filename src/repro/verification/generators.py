@@ -247,7 +247,11 @@ def build_sat_case(params: dict):
 
 
 #: Every registered algorithm, exercised through a compatible spec.  The
-#: fuzzer varies n / seed (and thereby the seeded default network).
+#: fuzzer varies n / seed (and thereby the seeded default network).  The
+#: matrix deliberately spans both vectorized-engine paths: the first four
+#: rows run numpy kernels (matching:proposal, mis:aapr23, mis:luby),
+#: every other row exercises the per-node fallback of unported
+#: algorithms.
 ENGINE_CASE_MATRIX: tuple[tuple[str, str], ...] = (
     ("matching:delta=3,x=0,y=1", "matching:proposal"),
     ("maximal-matching:delta=4", "matching:proposal"),

@@ -8,8 +8,10 @@ oracle                  cross-checked implementations
 ======================  ====================================================
 ``roundelim``           kernel vs reference ``apply_R`` / ``apply_R_bar`` /
                         ``round_elimination`` (:mod:`repro.roundelim`)
-``engines``             object vs batched execution of every registered
-                        algorithm through :func:`repro.api.solve`
+``engines``             object vs batched vs vectorized execution of every
+                        registered algorithm through
+                        :func:`repro.api.solve` (both the numpy kernels
+                        and the per-node fallback path)
 ``solver``              CSP existence vs brute-force enumeration, with the
                         returned solution validated by two checkers
 ``serialization``       canonical-JSON encode → decode → encode stability
@@ -189,17 +191,40 @@ class RoundElimOracle(Oracle):
 
 
 # ---------------------------------------------------------------------------
-# engines: object vs batched through repro.api.solve
+# engines: every registered engine vs the object reference
 
 
 class EngineParityOracle(Oracle):
+    """Byte parity of every registered engine against ``object``.
+
+    The case matrix spans both vectorized-engine paths: algorithms with a
+    numpy kernel (``matching:proposal``, ``mis:aapr23``, ``mis:luby``)
+    and unported algorithms exercising the per-node fallback.  Where
+    numpy is importable the ``vectorized`` engine must actually be
+    registered — a silent registration regression would otherwise shrink
+    the matrix back to two engines without failing anything.
+    """
+
     name = "engines"
-    description = "object vs batched engine runs through repro.api.solve"
+    description = (
+        "object vs batched vs vectorized engine runs through repro.api.solve"
+    )
 
     def generate(self, rng: random.Random) -> dict:
         return random_engine_case_params(rng)
 
     def check(self, params: dict) -> str | None:
+        engines = api.available_engines()
+        try:
+            import numpy  # noqa: F401
+        except ModuleNotFoundError:
+            pass
+        else:
+            if "vectorized" not in engines:
+                return (
+                    "numpy is importable but the 'vectorized' engine is "
+                    "not registered"
+                )
         reports = {
             engine: api.solve(
                 params["spec"],
@@ -208,7 +233,7 @@ class EngineParityOracle(Oracle):
                 n=params["n"],
                 seed=params["seed"],
             )
-            for engine in api.available_engines()
+            for engine in engines
         }
         reference = reports.pop("object")
         if reference.valid is not True:

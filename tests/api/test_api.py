@@ -135,7 +135,9 @@ class TestRegistries:
             api.register_algorithm(NoFamilies())
 
     def test_engines_registered(self):
-        assert api.available_engines() == ["batched", "object"]
+        engines = api.available_engines()
+        # "vectorized" joins the list only where numpy is installed.
+        assert [e for e in engines if e != "vectorized"] == ["batched", "object"]
         assert api.resolve_engine("object").name == "object"
 
     def test_unknown_engine_rejected(self):

@@ -1,11 +1,20 @@
-"""Engine equivalence: every registered algorithm, on both engines, over
+"""Engine equivalence: every registered algorithm, on every engine, over
 seeded random graphs, produces identical outputs, round counts and
-canonical JSON — the contract that makes engines freely interchangeable."""
+canonical JSON — the contract that makes engines freely interchangeable.
+The same holds for protocol violations: every engine must reject the same
+malformed ``send()`` dicts with the same ``SimulationError`` text."""
+
+from fractions import Fraction
 
 import networkx as nx
 import pytest
 
 from repro import api
+from repro.api.engines import resolve_engine
+from repro.api.types import MessagePassingProgram
+from repro.local.network import Network
+from repro.local.simulator import NodeAlgorithm
+from repro.utils import SimulationError
 
 #: (spec, algorithm) covering every registered algorithm at least once.
 CASES = [
@@ -68,6 +77,101 @@ def test_identical_reports_on_irregular_random_graphs(seed, algorithm):
     for report in reports.values():
         assert report.canonical_json() == reference.canonical_json()
         assert report.outputs == reference.outputs
+
+
+def _sender(messages_factory):
+    """A probe algorithm: every node emits ``messages_factory()`` once and
+    halts with whatever its inbox was (so delivery itself is compared)."""
+
+    class Probe(NodeAlgorithm):
+        def send(self):
+            return messages_factory()
+
+        def receive(self, messages):
+            self.halt(dict(messages))
+
+    return Probe
+
+
+def _run_probe(engine, messages_factory):
+    network = Network(graph=nx.path_graph(2))
+    program = MessagePassingProgram(factory=_sender(messages_factory))
+    return resolve_engine(engine).run(network, program)
+
+
+#: Port keys every engine must accept as port 1 (set-membership equality:
+#: anything == 1 names port 1) on a degree-1 node, and keys every engine
+#: must reject as stray.  The matrix pins the coercion contract the
+#: batched engine documents in a comment — bools, integral floats and
+#: integral Fractions are ports; strings, fractional values and
+#: out-of-range ints are violations.
+ACCEPTED_PORT_KEYS = [1, True, 1.0, Fraction(1, 1)]
+REJECTED_PORT_KEYS = [0, 99, -1, "1", "a", 2.5, Fraction(3, 2), None, (1,)]
+
+
+@pytest.mark.parametrize("key", ACCEPTED_PORT_KEYS, ids=repr)
+def test_engines_agree_on_accepted_port_keys(key):
+    results = {
+        engine: _run_probe(engine, lambda: {key: "ping"})
+        for engine in api.available_engines()
+    }
+    reference = results["object"]
+    assert reference.outputs == {0: {1: "ping"}, 1: {1: "ping"}}
+    for engine, result in results.items():
+        assert result.outputs == reference.outputs, engine
+        assert result.rounds == reference.rounds, engine
+
+
+@pytest.mark.parametrize("key", REJECTED_PORT_KEYS, ids=repr)
+def test_engines_agree_on_rejected_port_keys(key):
+    errors = {}
+    for engine in api.available_engines():
+        with pytest.raises(SimulationError) as info:
+            _run_probe(engine, lambda: {key: "ping"})
+        errors[engine] = str(info.value)
+    reference = errors["object"]
+    assert "invalid ports" in reference
+    for engine, text in errors.items():
+        assert text == reference, engine
+
+
+def test_heterogeneous_invalid_ports_raise_simulation_error():
+    """Regression: mixed-type port keys (``{"a": m, 99: m}``) used to hit
+    ``sorted()``'s cross-type comparison and escape as ``TypeError``; the
+    protocol violation must surface as a ``SimulationError`` with one text
+    on every engine."""
+    errors = {}
+    for engine in api.available_engines():
+        with pytest.raises(SimulationError) as info:
+            _run_probe(engine, lambda: {"a": "x", 99: "y"})
+        errors[engine] = str(info.value)
+    reference = errors["object"]
+    assert "invalid ports [99, 'a']" in reference
+    for engine, text in errors.items():
+        assert text == reference, engine
+
+
+def test_heterogeneous_ports_after_halt_raise_simulation_error():
+    """The halted-during-send violation takes the same heterogeneous-key
+    path; it too must stay a SimulationError with one text everywhere."""
+
+    class HaltsButSends(NodeAlgorithm):
+        def send(self):
+            self.halt(None)
+            return {"a": "x", 99: "y"}
+
+    errors = {}
+    for engine in api.available_engines():
+        network = Network(graph=nx.path_graph(2))
+        program = MessagePassingProgram(factory=HaltsButSends)
+        with pytest.raises(SimulationError) as info:
+            resolve_engine(engine).run(network, program)
+        errors[engine] = str(info.value)
+    reference = errors["object"]
+    assert "halted during send()" in reference
+    assert "[99, 'a']" in reference
+    for engine, text in errors.items():
+        assert text == reference, engine
 
 
 @pytest.mark.parametrize("seed", [0, 5])

@@ -55,7 +55,9 @@ class TestListEngines:
         )
         defaults = [e["name"] for e in engines if e["default"]]
         assert defaults == ["object"]
-        assert {e["name"] for e in engines} == {"object", "batched"}
+        # "vectorized" appears only where numpy is installed.
+        names = {e["name"] for e in engines} - {"vectorized"}
+        assert names == {"object", "batched"}
 
 
 class TestDescribe:

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import api
 from repro.experiments import Scenario, execute_scenario, get_scenario
 from repro.experiments.cli import main
 from repro.experiments.runner import Runner
@@ -36,13 +37,17 @@ class TestEngineParityThroughPipelines:
         ],
     )
     def test_scenario_payload_identical_across_engines(self, suite, name):
+        """Every registered engine — including vectorized where numpy is
+        installed — must produce the identical pipeline payload."""
         scenario = get_scenario(suite, name)
         payloads = {
             engine: execute_scenario(scenario.with_engine(engine)).payload()
-            for engine in ("object", "batched")
+            for engine in api.available_engines()
         }
-        assert payloads["object"] == payloads["batched"]
-        assert payloads["object"]["ok"] is True
+        reference = payloads["object"]
+        assert reference["ok"] is True
+        for engine, payload in payloads.items():
+            assert payload == reference, engine
 
 
 class TestRunnerAndCli:

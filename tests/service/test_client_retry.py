@@ -148,6 +148,76 @@ class TestRetryLoop:
         assert sleeps.delays == [pytest.approx(2.0)]
         assert _Script.served == [503, 200]
 
+    def test_http_date_retry_after_is_honored(self, scripted_server):
+        """RFC 9110 allows ``Retry-After`` as an HTTP-date; the hint is
+        the remaining wait relative to the client's clock (regression:
+        the date form used to be discarded as unparsable)."""
+        _Script.script = [
+            (503, {"Retry-After": "Sat, 01 Jan 2000 00:00:02 GMT"}, "{}"),
+        ]
+        sleeps = SleepRecorder()
+        client = ServiceClient(
+            url_of(scripted_server),
+            retries=2,
+            jitter=0.0,
+            max_backoff=120.0,
+            sleep=sleeps,
+            clock=lambda: 946684740.0,  # 1999-12-31 23:59:00 GMT
+        )
+        assert client.status() == {"status": "ok"}
+        # Midnight + 2 s is 62 s past the frozen clock.
+        assert sleeps.delays == [pytest.approx(62.0)]
+
+    def test_http_date_hint_is_clamped_to_the_backoff_cap(
+        self, scripted_server
+    ):
+        _Script.script = [
+            (503, {"Retry-After": "Sat, 01 Jan 2000 01:00:00 GMT"}, "{}"),
+        ]
+        sleeps = SleepRecorder()
+        client = ServiceClient(
+            url_of(scripted_server),
+            retries=2,
+            jitter=0.0,
+            max_backoff=5.0,
+            sleep=sleeps,
+            clock=lambda: 946684740.0,  # one hour and change earlier
+        )
+        assert client.status() == {"status": "ok"}
+        assert sleeps.delays == [pytest.approx(5.0)]
+
+    def test_http_date_in_the_past_means_retry_immediately(
+        self, scripted_server
+    ):
+        _Script.script = [
+            (503, {"Retry-After": "Fri, 31 Dec 1999 22:00:00 GMT"}, "{}"),
+        ]
+        sleeps = SleepRecorder()
+        client = ServiceClient(
+            url_of(scripted_server),
+            retries=2,
+            jitter=0.0,
+            sleep=sleeps,
+            clock=lambda: 946684740.0,
+        )
+        assert client.status() == {"status": "ok"}
+        assert sleeps.delays == [pytest.approx(0.0)]
+
+    def test_unparsable_retry_after_falls_back_to_backoff(
+        self, scripted_server
+    ):
+        _Script.script = [(503, {"Retry-After": "soonish"}, "{}")]
+        sleeps = SleepRecorder()
+        client = ServiceClient(
+            url_of(scripted_server),
+            retries=2,
+            backoff=0.2,
+            jitter=0.0,
+            sleep=sleeps,
+        )
+        assert client.status() == {"status": "ok"}
+        assert sleeps.delays == [pytest.approx(0.2)]
+
     def test_non_json_body_fails_immediately(self, scripted_server):
         _Script.script = [(200, {"Content-Type": "text/html"}, "<html>proxy</html>")]
         sleeps = SleepRecorder()
