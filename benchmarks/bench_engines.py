@@ -10,7 +10,7 @@ covers):
 * the numpy vectorized engine is ≥ **10×** faster than the batched engine
   at the largest size both run (n = 10^5 in full mode), while producing
   byte-identical reports;
-* the vectorized engine sustains a scaling curve through **n = 10^6**
+* the vectorized engine sustains a scaling curve through **n = 10^7**
   (recorded, vectorized-only — the per-node engines are too slow there).
 
 Dual mode:
@@ -66,6 +66,7 @@ WORKLOADS: dict[str, tuple[tuple[int, tuple[str, ...]], ...]] = {
         (10_000, ("object", "batched", "vectorized")),
         (100_000, ("batched", "vectorized")),
         (1_000_000, ("vectorized",)),
+        (10_000_000, ("vectorized",)),
     ),
 }
 

@@ -16,9 +16,10 @@ from __future__ import annotations
 import networkx as nx
 
 from repro.api.registry import Algorithm, register_algorithm
-from repro.api.types import ProblemSpec
+from repro.api.types import MessagePassingProgram, ProblemSpec, VectorizedSpec
 from repro.checkers.graph_problems import CheckResult, check_arbdefective_coloring
 from repro.local.network import Network
+from repro.local.simulator import NodeAlgorithm
 from repro.utils import InvalidParameterError
 
 
@@ -65,44 +66,136 @@ def class_sweep_arbdefective_coloring(
     return color_of, orientation, alpha, rounds
 
 
+class _ArbdefectiveSweepNode(NodeAlgorithm):
+    """Class rank r decides in round offset + r + 1, announcing its bucket.
+
+    The first ``offset`` rounds are idle — they account for the base
+    proper coloring's cost when the algorithm computed it itself.  When a
+    node's turn comes it takes the least-loaded bucket (ties to the
+    lowest), orients the ports towards already-announced same-bucket
+    neighbors as outgoing, and broadcasts ``("bucket", b)``.  Everyone
+    halts together after ``offset + num_classes`` rounds.
+    """
+
+    def init(self) -> None:
+        self.rank = self.ctx.extra["rank"]
+        self.num_classes = self.ctx.extra["num_classes"]
+        self.offset = self.ctx.extra["offset"]
+        self.loads = {
+            bucket: 0 for bucket in range(1, self.ctx.extra["num_buckets"] + 1)
+        }
+        self.bucket: int | None = None
+        self.port_bucket: dict[int, int] = {}
+        self.out_ports: list[int] = []
+        self.round = 0
+        if self.offset + self.num_classes == 0:
+            self.halt({"bucket": None, "out_ports": []})
+
+    def send(self) -> dict[int, object]:
+        if self.round < self.offset:
+            return {}
+        if self.rank == self.round - self.offset and self.bucket is None:
+            chosen = min(self.loads, key=lambda b: (self.loads[b], b))
+            self.bucket = chosen
+            self.out_ports = [
+                port
+                for port in sorted(self.port_bucket)
+                if self.port_bucket[port] == chosen
+            ]
+            return {port: ("bucket", chosen) for port in self.ctx.ports}
+        return {}
+
+    def receive(self, messages: dict[int, object]) -> None:
+        for port, payload in messages.items():
+            if payload and payload[0] == "bucket":
+                self.loads[payload[1]] += 1
+                self.port_bucket[port] = payload[1]
+        self.round += 1
+        if self.round >= self.offset + self.num_classes:
+            self.halt({"bucket": self.bucket, "out_ports": self.out_ports})
+
+
 class ClassSweepArbdefective(Algorithm):
     """``"arbdefective:class-sweep"`` — α-arbdefective c-coloring.
 
-    A global-knowledge construction: starts from a proper coloring
-    (option ``proper_coloring``; default the shared class-sweep
-    (Δ+1)-coloring, whose rounds are included in the accounting) and
-    sweeps its classes.  The solution is a dict with ``color_of``,
-    ``orientation``, ``alpha`` and ``colors`` — the exact arguments of
-    the §5 checker.
+    A message program since the vectorized port: starts from a proper
+    coloring (option ``proper_coloring``; default the shared class-sweep
+    (Δ+1)-coloring, whose rounds are included in the accounting as idle
+    engine rounds) and sweeps its classes.  Class peers decide
+    simultaneously — they are non-adjacent in a proper coloring, so the
+    result is identical to the sequential
+    :func:`class_sweep_arbdefective_coloring`.  The finalized solution is
+    a dict with ``color_of``, ``orientation``, ``alpha`` and ``colors`` —
+    the exact arguments of the §5 checker.
     """
 
     name = "arbdefective:class-sweep"
     families = ("arbdefective",)
-    kind = "global"
+    kind = "message"
     description = "α-arbdefective c-coloring by class sweep (α = ⌊Δ/c⌋)"
 
-    def run_global(
-        self, network: Network, spec: ProblemSpec, options: dict, seed: int
-    ) -> tuple[dict, int]:
+    def program(
+        self, network: Network, spec: ProblemSpec, options: dict
+    ) -> MessagePassingProgram:
         from repro.algorithms.coloring_dist import class_sweep_coloring
 
         graph = network.graph
         colors = options.get("colors", spec.param("colors", 2))
+        if colors < 1:
+            raise InvalidParameterError(f"need c ≥ 1, got {colors}")
         proper = options.get("proper_coloring")
-        base_rounds = 0
+        offset = 0
         if proper is None:
-            base, base_rounds = class_sweep_coloring(graph)
+            base, offset = class_sweep_coloring(graph)
             proper = {node: color + 1 for node, color in base.items()}
-        color_of, orientation, alpha, sweep_rounds = (
-            class_sweep_arbdefective_coloring(graph, proper, colors)
+        distinct = sorted(set(proper.values()), key=str)
+        rank = {value: index for index, value in enumerate(distinct)}
+        for u, v in graph.edges:
+            if proper[u] == proper[v]:
+                raise InvalidParameterError(
+                    f"input coloring is not proper: edge {(u, v)} monochromatic"
+                )
+        num_classes = len(distinct)
+        rank_of = {node: rank[proper[node]] for node in graph.nodes}
+
+        def extra(node) -> dict:
+            return {
+                "rank": rank_of[node],
+                "num_classes": num_classes,
+                "offset": offset,
+                "num_buckets": colors,
+            }
+
+        return MessagePassingProgram(
+            factory=_ArbdefectiveSweepNode,
+            extra=extra,
+            vectorized=VectorizedSpec(
+                kernel="arbdefective:class-sweep",
+                data={
+                    "rank_of": rank_of,
+                    "num_classes": num_classes,
+                    "offset": offset,
+                    "num_buckets": colors,
+                },
+            ),
         )
-        solution = {
+
+    def finalize(
+        self, network: Network, spec: ProblemSpec, options: dict, outputs: dict
+    ) -> dict:
+        colors = options.get("colors", spec.param("colors", 2))
+        color_of: dict = {}
+        orientation: set[tuple] = set()
+        for node, out in outputs.items():
+            color_of[node] = out["bucket"]
+            for port in out["out_ports"]:
+                orientation.add((node, network.via_port(node, port)))
+        return {
             "color_of": color_of,
             "orientation": orientation,
-            "alpha": alpha,
+            "alpha": network.max_degree // colors,
             "colors": colors,
         }
-        return solution, base_rounds + sweep_rounds
 
 
 register_algorithm(ClassSweepArbdefective())

@@ -17,8 +17,9 @@ from __future__ import annotations
 import networkx as nx
 
 from repro.api.registry import Algorithm, register_algorithm
-from repro.api.types import ProblemSpec
+from repro.api.types import MessagePassingProgram, ProblemSpec, VectorizedSpec
 from repro.local.network import Network
+from repro.local.simulator import NodeAlgorithm
 from repro.utils import GraphConstructionError
 
 
@@ -72,24 +73,59 @@ def supported_sinkless_orientation_rounds(graph: nx.Graph) -> int:
     return 0
 
 
+class _OrientationNode(NodeAlgorithm):
+    """Halts at init with the precomputed outgoing ports: zero rounds."""
+
+    def init(self) -> None:
+        self.halt(self.ctx.extra["out_ports"])
+
+
 class GlobalSinklessOrientation(Algorithm):
     """``"sinkless-orientation:global"`` — the 0-round Supported LOCAL SO.
 
     Every node knows G, computes the same global orientation, and outputs
-    its incident part; the accounted round complexity is zero.
+    its incident part (the ports of its outgoing edges); the accounted
+    round complexity is zero — every node halts at init, so the engine
+    loop never runs.
     """
 
     name = "sinkless-orientation:global"
     families = ("sinkless-orientation",)
-    kind = "global"
+    kind = "message"
     description = "0-round sinkless orientation from global knowledge of G"
 
-    def run_global(
-        self, network: Network, spec: ProblemSpec, options: dict, seed: int
-    ) -> tuple[dict, int]:
-        graph = network.graph
-        orientation = global_sinkless_orientation(graph)
-        return orientation, supported_sinkless_orientation_rounds(graph)
+    def program(
+        self, network: Network, spec: ProblemSpec, options: dict
+    ) -> MessagePassingProgram:
+        orientation = global_sinkless_orientation(network.graph)
+        out_ports: dict = {node: [] for node in network.graph.nodes}
+        for edge, head in orientation.items():
+            (tail,) = (node for node in edge if node != head)
+            out_ports[tail].append(network.port_to(tail, head))
+        for ports in out_ports.values():
+            ports.sort()
+
+        def extra(node) -> dict:
+            return {"out_ports": out_ports[node]}
+
+        return MessagePassingProgram(
+            factory=_OrientationNode,
+            extra=extra,
+            vectorized=VectorizedSpec(
+                kernel="sinkless-orientation:global",
+                data={"out_ports": out_ports},
+            ),
+        )
+
+    def finalize(
+        self, network: Network, spec: ProblemSpec, options: dict, outputs: dict
+    ) -> dict:
+        orientation: dict[frozenset, object] = {}
+        for node, ports in outputs.items():
+            for port in ports:
+                neighbor = network.via_port(node, port)
+                orientation[frozenset((node, neighbor))] = neighbor
+        return orientation
 
 
 register_algorithm(GlobalSinklessOrientation())

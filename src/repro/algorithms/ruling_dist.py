@@ -14,9 +14,11 @@ from __future__ import annotations
 import networkx as nx
 
 from repro.api.registry import Algorithm, register_algorithm
-from repro.api.types import ProblemSpec
+from repro.api.types import MessagePassingProgram, ProblemSpec, VectorizedSpec
 from repro.graphs.chromatic import greedy_coloring
 from repro.local.network import Network
+from repro.local.simulator import NodeAlgorithm
+from repro.utils import InvalidParameterError
 
 
 def ruling_set_by_class_sweep(
@@ -71,27 +73,108 @@ def mis_from_ruling_sweep(graph: nx.Graph, coloring: dict | None = None) -> tupl
     return ruling_set_by_class_sweep(graph, beta=1, coloring=coloring)
 
 
+class _ClassSweepRulingNode(NodeAlgorithm):
+    """Phase c (β rounds): unruled class-c nodes select, flood a β-hop wave.
+
+    A phase's first round lets class c decide; selected nodes emit a
+    ``("ruled", β)`` token, receivers become ruled and forward the token
+    with a decremented hop budget, so the wave covers the β-ball before
+    the next class's turn.  Everyone halts together after
+    ``num_classes · β`` rounds.
+    """
+
+    def init(self) -> None:
+        self.cls = self.ctx.extra["class_index"]
+        self.num_classes = self.ctx.extra["num_classes"]
+        self.beta = self.ctx.extra["beta"]
+        self.selected = False
+        self.ruled = False
+        self.pending = 0
+        self.round = 0
+        if self.num_classes * self.beta == 0:
+            self.halt(False)
+
+    def send(self) -> dict[int, object]:
+        hops = self.pending
+        sending = self.pending >= 1
+        self.pending = 0
+        if self.round % self.beta == 0:
+            if self.cls == self.round // self.beta and not self.ruled:
+                self.selected = True
+                self.ruled = True
+                hops = self.beta
+                sending = True
+        if sending:
+            return {port: ("ruled", hops) for port in self.ctx.ports}
+        return {}
+
+    def receive(self, messages: dict[int, object]) -> None:
+        for payload in messages.values():
+            if payload and payload[0] == "ruled":
+                self.ruled = True
+                if payload[1] - 1 > self.pending:
+                    self.pending = payload[1] - 1
+        self.round += 1
+        if self.round >= self.num_classes * self.beta:
+            self.halt(self.selected)
+
+
 class ClassSweepRulingSet(Algorithm):
     """``"ruling-set:class-sweep"`` — (2,β)-ruling sets from a coloring.
 
-    A global-knowledge construction (round-faithful accounting, not a
-    message loop): β defaults to the spec's ``β`` parameter, and β = 1
-    makes it an MIS algorithm, so both families are declared.  Option
-    ``coloring`` overrides the shared greedy coloring.
+    A true message program since the vectorized port: β defaults to the
+    spec's ``β`` parameter, and β = 1 makes it an MIS algorithm, so both
+    families are declared.  Option ``coloring`` overrides the shared
+    greedy coloring.
+
+    The wave construction lets *all* unruled class peers select
+    simultaneously, so for β ≥ 2 the selected set can differ from the
+    (sequential) :func:`ruling_set_by_class_sweep` — it is still an
+    independent (2,β)-ruling set (class peers of a proper coloring are
+    non-adjacent), with the identical ``num_classes · β`` round count.
+    For β = 1 the outputs coincide.
     """
 
     name = "ruling-set:class-sweep"
     families = ("ruling-set", "mis")
-    kind = "global"
+    kind = "message"
     description = "(2,β)-ruling set by class sweep over a free coloring"
 
-    def run_global(
-        self, network: Network, spec: ProblemSpec, options: dict, seed: int
-    ) -> tuple[set, int]:
+    def program(
+        self, network: Network, spec: ProblemSpec, options: dict
+    ) -> MessagePassingProgram:
         beta = options.get("beta", spec.param("beta", 1))
-        return ruling_set_by_class_sweep(
-            network.graph, beta=beta, coloring=options.get("coloring")
+        if beta < 1:
+            raise InvalidParameterError(f"need β ≥ 1, got {beta}")
+        coloring = options.get("coloring")
+        if coloring is None:
+            coloring = greedy_coloring(network.graph)
+        num_classes = max(coloring.values(), default=-1) + 1
+
+        def extra(node) -> dict:
+            return {
+                "class_index": coloring[node],
+                "num_classes": num_classes,
+                "beta": beta,
+            }
+
+        return MessagePassingProgram(
+            factory=_ClassSweepRulingNode,
+            extra=extra,
+            vectorized=VectorizedSpec(
+                kernel="ruling-set:class-sweep",
+                data={
+                    "class_of": coloring,
+                    "num_classes": num_classes,
+                    "beta": beta,
+                },
+            ),
         )
+
+    def finalize(
+        self, network: Network, spec: ProblemSpec, options: dict, outputs: dict
+    ) -> set:
+        return {node for node, joined in outputs.items() if joined}
 
 
 register_algorithm(ClassSweepRulingSet())

@@ -235,6 +235,14 @@ def _execute(
             internal(trace)
             extern(trace)
 
+        def _note_engine_path(path: str) -> None:
+            internal.note_engine_path(path)
+            note = getattr(extern, "note_engine_path", None)
+            if note is not None:
+                note(path)
+
+        observer.note_engine_path = _note_engine_path
+
     result, wall = timed(
         eng.run, net, program, seed=seed, max_rounds=max_rounds, probe=observer
     )

@@ -77,6 +77,24 @@ SUITES: dict[str, tuple[Scenario, ...]] = {
             beta=2,
             delta=3,
         ),
+        # Engine twin for the newly ported ruling-set kernel: the same
+        # peeling scenario through the vectorized engine must produce a
+        # byte-identical run (CI diffs the two suite outputs).
+        *(
+            (
+                Scenario.create(
+                    "thm61-peeling-vectorized",
+                    pipeline="ruling_peeling",
+                    family="cage:tutte_coxeter",
+                    checker="ruling_set",
+                    beta=2,
+                    delta=3,
+                    engine="vectorized",
+                ),
+            )
+            if "vectorized" in available_engines()
+            else ()
+        ),
     ),
     "arbdefective": (
         Scenario.create(

@@ -22,13 +22,17 @@ n ≈ 10^4.  This engine removes per-node Python from the hot loop entirely:
 
 Algorithms opt in by attaching a :class:`~repro.api.types.VectorizedSpec`
 to their program, naming a kernel registered in :data:`KERNELS`.  Programs
-without a spec (or naming an unknown kernel) fall back to
-:func:`run_synchronous` — per-node object semantics, trivially
-byte-identical.  Ported kernels must reproduce the object engine bit for
-bit: same outputs (Python scalars, not numpy ones), same round count, same
-delivered/dropped counters, same :class:`SimulationError` texts.
-``tests/api/test_engine_parity.py`` and the ``engines`` differential
-oracle enforce this.
+without a spec fall back to :func:`run_synchronous` — per-node object
+semantics, trivially byte-identical.  A spec naming an *unregistered*
+kernel raises :class:`SimulationError` instead: the algorithm explicitly
+claimed a kernel, so a typo must fail loudly rather than silently lose
+the speedup to the per-node path.  Which path ran is reported to the
+probe (``EngineProbe.engine_path``: ``"kernel"`` or ``"fallback"``) —
+telemetry only, never part of canonical records.  Ported kernels must
+reproduce the object engine bit for bit: same outputs (Python scalars,
+not numpy ones), same round count, same delivered/dropped counters, same
+:class:`SimulationError` texts.  ``tests/api/test_engine_parity.py`` and
+the ``engines`` differential oracle enforce this.
 
 Kernel contract (what keeps parity cheap to reason about):
 
@@ -179,6 +183,15 @@ def register_kernel(name: str, kernel: type[VectorizedAlgorithm]) -> None:
     KERNELS[name] = kernel
 
 
+def _note_engine_path(
+    on_round: Callable[[RoundTrace], None] | None, path: str
+) -> None:
+    """Tell the probe which execution path ran (telemetry, not records)."""
+    note = getattr(on_round, "note_engine_path", None)
+    if note is not None:
+        note(path)
+
+
 def run_vectorized(
     network: Network,
     factory: Callable[[NodeContext], object],
@@ -191,12 +204,14 @@ def run_vectorized(
     """Drop-in replacement for :func:`run_synchronous` over numpy arrays.
 
     ``vectorized`` is the program's :class:`VectorizedSpec` (or ``None``);
-    when it names a registered kernel the whole run is array operations,
-    otherwise the call delegates to :func:`run_synchronous` unchanged —
-    the fallback path for unported algorithms.
+    when it names a registered kernel the whole run is array operations.
+    A program with *no* spec delegates to :func:`run_synchronous`
+    unchanged — the fallback path for unported algorithms.  A spec naming
+    an unknown kernel is a :class:`SimulationError`: the program opted in
+    to a kernel, so a registry miss is a bug, not a fallback.
     """
-    kernel_cls = None if vectorized is None else KERNELS.get(vectorized.kernel)
-    if kernel_cls is None:
+    if vectorized is None:
+        _note_engine_path(on_round, "fallback")
         return run_synchronous(
             network,
             factory,
@@ -205,6 +220,14 @@ def run_vectorized(
             rng_for=rng_for,
             on_round=on_round,
         )
+    kernel_cls = KERNELS.get(vectorized.kernel)
+    if kernel_cls is None:
+        raise SimulationError(
+            f"vectorized engine: unknown kernel {vectorized.kernel!r} "
+            f"(registered: {sorted(KERNELS)}); refusing the silent "
+            f"per-node fallback"
+        )
+    _note_engine_path(on_round, "kernel")
 
     vnet = VectorNetwork.of(network)
     kernel = kernel_cls(vnet, network, vectorized.data, rng_for=rng_for)
@@ -298,6 +321,11 @@ class ProposalMatchingKernel(VectorizedAlgorithm):
         self.matched = np.full(vnet.n, -1, dtype=np.int64)
         self.next_index = np.zeros(vnet.n, dtype=np.int64)
         self.pending = np.full(vnet.n, -1, dtype=np.int64)
+        # Per-round scratch, preallocated once: allocating fresh n-sized
+        # arrays inside the round loop dominates past n = 10^6.
+        self._best = np.empty(vnet.n, dtype=np.int64)
+        self._got_accept = np.empty(vnet.n, dtype=bool)
+        self._accept_port = np.zeros(vnet.n, dtype=np.int64)
 
     def init_all(self):
         if self.total_phases == 0:
@@ -330,7 +358,8 @@ class ProposalMatchingKernel(VectorizedAlgorithm):
         if (rnd - 1) % 2 == 0:
             # Proposals land at black nodes; each unmatched black takes
             # the smallest proposing port and queues the accept.
-            best = np.full(vnet.n, _NO_PROPOSAL, dtype=np.int64)
+            best = self._best
+            best.fill(_NO_PROPOSAL)
             np.minimum.at(best, receivers, ports)
             claim = ~self.white & (self.matched < 0) & (best < _NO_PROPOSAL)
             self.matched[claim] = best[claim]
@@ -340,8 +369,11 @@ class ProposalMatchingKernel(VectorizedAlgorithm):
             # accept ever (only the black it matched answers it), so a
             # plain scatter is faithful; whites whose proposal went
             # unanswered advance to their next input port.
-            got_accept = np.zeros(vnet.n, dtype=bool)
-            accept_port = np.zeros(vnet.n, dtype=np.int64)
+            # (_accept_port needs no reset: it is read only at indices
+            # freshly written through the same ``receivers`` scatter.)
+            got_accept = self._got_accept
+            got_accept.fill(False)
+            accept_port = self._accept_port
             got_accept[receivers] = True
             accept_port[receivers] = ports
             self.matched[got_accept] = accept_port[got_accept]
@@ -359,7 +391,62 @@ class ProposalMatchingKernel(VectorizedAlgorithm):
         ]
 
 
-class ColorClassMISKernel(VectorizedAlgorithm):
+class ClassSweepKernel(VectorizedAlgorithm):
+    """Shared shape of the class-sweep family of kernels.
+
+    Every class-sweep algorithm walks the classes of a precomputed
+    coloring on a fixed round budget: class ``c`` acts when its turn
+    comes, everyone else listens, and all nodes halt *together* when the
+    budget is spent (so no message is ever dropped mid-sweep).  Subclasses
+    parameterize the finalize rule: :attr:`classes_key` names the
+    node → class mapping in ``data``, :meth:`round_budget` declares the
+    total round count, and :meth:`sweep_send` / :meth:`sweep_receive`
+    implement the per-round action.  The base handles the class array,
+    the zero-budget init halt and the collective final halt.
+    """
+
+    classes_key = "coloring"
+
+    def __init__(self, vnet, network, data, rng_for=None):
+        super().__init__(vnet, network, data, rng_for=rng_for)
+        mapping = data[self.classes_key]
+        self.cls = np.fromiter(
+            (mapping[node] for node in vnet.nodes),
+            dtype=np.int64,
+            count=vnet.n,
+        )
+        self.total_rounds = int(self.round_budget())
+
+    def round_budget(self) -> int:
+        """Total engine rounds of the sweep (0 halts everyone at init).
+
+        Called from the base ``__init__`` before subclass state exists —
+        compute the budget from ``self.data`` alone.
+        """
+        raise NotImplementedError
+
+    def sweep_send(self, rnd: int) -> tuple[np.ndarray, np.ndarray | None]:
+        return np.empty(0, dtype=np.int64), None
+
+    def sweep_receive(
+        self, rnd: int, slots: np.ndarray, payloads: np.ndarray | None
+    ) -> None:
+        """Scatter round ``rnd``'s deliveries (halting is the base's job)."""
+
+    def init_all(self):
+        if self.total_rounds == 0:
+            self.halted[:] = True
+
+    def send_all(self, rnd):
+        return self.sweep_send(rnd)
+
+    def receive_all(self, rnd, slots, payloads):
+        self.sweep_receive(rnd, slots, payloads)
+        if rnd >= self.total_rounds:
+            self.halted[:] = True
+
+
+class ColorClassMISKernel(ClassSweepKernel):
     """Batch form of the [AAPR23] color-class sweep (``mis:aapr23``).
 
     ``data``: the shared ``coloring`` (node → color class) and
@@ -370,33 +457,213 @@ class ColorClassMISKernel(VectorizedAlgorithm):
 
     def __init__(self, vnet, network, data, rng_for=None):
         super().__init__(vnet, network, data, rng_for=rng_for)
-        coloring = data["coloring"]
-        self.color = np.fromiter(
-            (coloring[node] for node in vnet.nodes),
-            dtype=np.int64,
-            count=vnet.n,
-        )
-        self.num_colors = int(data["num_colors"])
         self.in_mis = np.zeros(vnet.n, dtype=bool)
         self.blocked = np.zeros(vnet.n, dtype=bool)
 
-    def init_all(self):
-        if self.num_colors == 0:
-            self.halted[:] = True
+    def round_budget(self):
+        return self.data["num_colors"]
 
-    def send_all(self, rnd):
-        joiners = (self.color == rnd - 1) & ~self.blocked & ~self.halted
+    def sweep_send(self, rnd):
+        joiners = (self.cls == rnd - 1) & ~self.blocked & ~self.halted
         self.in_mis |= joiners
         edges = np.flatnonzero(joiners[self.vnet.owner])
         return edges, None
 
-    def receive_all(self, rnd, slots, payloads):
+    def sweep_receive(self, rnd, slots, payloads):
         self.blocked[self.vnet.owner[slots]] = True
-        if rnd >= self.num_colors:
-            self.halted[:] = True
 
     def outputs_all(self):
         return self.in_mis.tolist()
+
+
+class ColoringSweepKernel(ClassSweepKernel):
+    """Batch form of the class-sweep color reduction
+    (``coloring:class-sweep``) — the payload-bearing kernel exemplar.
+
+    The per-node program announces ``("final", color)`` tuples; in array
+    form the tag is implied and the payload is the int64 color vector,
+    scattered receiver-side into a per-node "colors seen" bitmap
+    (``seen[node, color]``).  Class ``c`` finalizes in round ``c + 1``
+    with the mex over its bitmap row — ``argmin`` of a boolean row is the
+    first unseen color, and a width of Δ + 1 guarantees one exists.
+
+    ``data``: ``initial_coloring`` (node → class) and ``num_classes``.
+    """
+
+    classes_key = "initial_coloring"
+
+    def __init__(self, vnet, network, data, rng_for=None):
+        super().__init__(vnet, network, data, rng_for=rng_for)
+        width = int(vnet.degrees.max(initial=0)) + 1
+        self.seen = np.zeros((vnet.n, width), dtype=bool)
+        self.final = np.full(vnet.n, -1, dtype=np.int64)
+
+    def round_budget(self):
+        return self.data["num_classes"]
+
+    def init_all(self):
+        super().init_all()
+        if self.total_rounds == 0:
+            # Parity: the node program halts with color 0 (not None) when
+            # there are no classes to sweep.
+            self.final[:] = 0
+
+    def sweep_send(self, rnd):
+        vnet = self.vnet
+        joined = (self.cls == rnd - 1) & ~self.halted
+        joiners = np.flatnonzero(joined)
+        # mex: first False column of each joiner's seen-colors row (a
+        # width of Δ + 1 guarantees one, since a row holds ≤ deg Trues).
+        self.final[joiners] = np.argmin(self.seen[joiners], axis=1)
+        edges = np.flatnonzero(joined[vnet.owner])
+        return edges, self.final[vnet.owner[edges]]
+
+    def sweep_receive(self, rnd, slots, payloads):
+        if slots.shape[0]:
+            self.seen[self.vnet.owner[slots], payloads] = True
+
+    def outputs_all(self):
+        return [
+            color if color >= 0 else None for color in self.final.tolist()
+        ]
+
+
+class RulingSweepKernel(ClassSweepKernel):
+    """Batch form of the distributed (2,β)-ruling-set class sweep
+    (``ruling-set:class-sweep``).
+
+    Phase ``c`` spans engine rounds ``cβ + 1 .. (c+1)β``: unruled class-c
+    nodes select themselves in the phase's first round and flood a
+    ``("ruled", β)`` token; receivers become ruled and forward the token
+    with a decremented hop budget, so the wave covers the β-ball before
+    the next class decides.  ``data``: ``class_of``, ``num_classes``,
+    ``beta``.
+    """
+
+    classes_key = "class_of"
+
+    def __init__(self, vnet, network, data, rng_for=None):
+        super().__init__(vnet, network, data, rng_for=rng_for)
+        self.beta = int(data["beta"])
+        self.selected = np.zeros(vnet.n, dtype=bool)
+        self.ruled = np.zeros(vnet.n, dtype=bool)
+        self.pending = np.zeros(vnet.n, dtype=np.int64)
+        # Per-round scatter buffer, preallocated once.
+        self._hops = np.empty(vnet.n, dtype=np.int64)
+
+    def round_budget(self):
+        return self.data["num_classes"] * int(self.data["beta"])
+
+    def sweep_send(self, rnd):
+        vnet = self.vnet
+        r0 = rnd - 1
+        hops = self._hops
+        np.copyto(hops, self.pending)
+        senders = self.pending >= 1
+        self.pending[:] = 0
+        if r0 % self.beta == 0:
+            deciders = (self.cls == r0 // self.beta) & ~self.ruled
+            self.selected |= deciders
+            self.ruled |= deciders
+            hops[deciders] = self.beta
+            senders = senders | deciders
+        edges = np.flatnonzero(senders[vnet.owner])
+        return edges, hops[vnet.owner[edges]]
+
+    def sweep_receive(self, rnd, slots, payloads):
+        if slots.shape[0]:
+            receivers = self.vnet.owner[slots]
+            self.ruled[receivers] = True
+            np.maximum.at(self.pending, receivers, payloads - 1)
+
+    def outputs_all(self):
+        return self.selected.tolist()
+
+
+class ArbdefectiveSweepKernel(ClassSweepKernel):
+    """Batch form of the arbdefective bucket sweep
+    (``arbdefective:class-sweep``).
+
+    After ``offset`` idle rounds (the accounted cost of the base proper
+    coloring), class rank ``r`` decides in round ``offset + r + 1``: it
+    takes the least-loaded bucket (ties to the lowest, matching the
+    centralized ``min`` key), marks its half-edges towards same-bucket
+    finalized neighbors as outgoing, and announces ``("bucket", b)``.
+    Receivers scatter the announcement into per-bucket load counters and
+    the per-port bucket table.  ``data``: ``rank_of``, ``num_classes``,
+    ``offset``, ``num_buckets``.
+    """
+
+    classes_key = "rank_of"
+
+    def __init__(self, vnet, network, data, rng_for=None):
+        super().__init__(vnet, network, data, rng_for=rng_for)
+        self.offset = int(data["offset"])
+        self.num_buckets = int(data["num_buckets"])
+        self.loads = np.zeros((vnet.n, self.num_buckets), dtype=np.int64)
+        self.bucket = np.full(vnet.n, -1, dtype=np.int64)
+        # slot_bucket[k]: announced bucket of the neighbor behind
+        # half-edge k (0 = not yet announced; buckets are 1-based).
+        self.slot_bucket = np.zeros(vnet.dest.shape[0], dtype=np.int64)
+        self.out_edge = np.zeros(vnet.dest.shape[0], dtype=bool)
+
+    def round_budget(self):
+        return int(self.data["offset"]) + self.data["num_classes"]
+
+    def sweep_send(self, rnd):
+        vnet = self.vnet
+        r0 = rnd - 1
+        if r0 < self.offset:
+            return np.empty(0, dtype=np.int64), None
+        deciders = (self.cls == r0 - self.offset) & (self.bucket < 0)
+        chosen_rows = np.flatnonzero(deciders)
+        self.bucket[chosen_rows] = (
+            np.argmin(self.loads[chosen_rows], axis=1) + 1
+        )
+        decider_edges = deciders[vnet.owner]
+        self.out_edge |= decider_edges & (
+            self.slot_bucket == self.bucket[vnet.owner]
+        )
+        edges = np.flatnonzero(decider_edges)
+        return edges, self.bucket[vnet.owner[edges]]
+
+    def sweep_receive(self, rnd, slots, payloads):
+        if slots.shape[0]:
+            receivers = self.vnet.owner[slots]
+            np.add.at(self.loads, (receivers, payloads - 1), 1)
+            self.slot_bucket[slots] = payloads
+
+    def outputs_all(self):
+        vnet = self.vnet
+        out_ports: list[list[int]] = [[] for _ in range(vnet.n)]
+        ks = np.flatnonzero(self.out_edge)
+        owners = vnet.owner[ks]
+        ports = ks - vnet.indptr[owners] + 1
+        for node, port in zip(owners.tolist(), ports.tolist()):
+            out_ports[node].append(port)  # half-edges are in port order
+        return [
+            {"bucket": bucket if bucket >= 0 else None, "out_ports": ports}
+            for bucket, ports in zip(self.bucket.tolist(), out_ports)
+        ]
+
+
+class GlobalOrientationKernel(VectorizedAlgorithm):
+    """Batch form of the 0-round sinkless orientation
+    (``sinkless-orientation:global``).
+
+    The orientation is global knowledge computed by the algorithm's
+    ``program()``; every node halts at init with its outgoing ports, so
+    the engine loop never runs — the kernel exercises the 0-round /
+    empty-graph path of the contract.  ``data``: ``out_ports``
+    (node → sorted port list).
+    """
+
+    def init_all(self):
+        self.halted[:] = True
+
+    def outputs_all(self):
+        out_ports = self.data["out_ports"]
+        return [out_ports[node] for node in self.vnet.nodes]
 
 
 class LubyMISKernel(VectorizedAlgorithm):
@@ -420,6 +687,9 @@ class LubyMISKernel(VectorizedAlgorithm):
         self.values = np.zeros(vnet.n, dtype=np.float64)
         self.joining = np.zeros(vnet.n, dtype=bool)
         self.result = np.zeros(vnet.n, dtype=bool)
+        # Per-round scratch, preallocated once (see ProposalMatchingKernel).
+        self._best = np.empty(vnet.n, dtype=np.float64)
+        self._got_joined = np.empty(vnet.n, dtype=bool)
 
     def init_all(self):
         isolated = self.vnet.degrees == 0
@@ -441,11 +711,13 @@ class LubyMISKernel(VectorizedAlgorithm):
         vnet = self.vnet
         receivers = vnet.owner[slots]
         if (rnd - 1) % 2 == 0:
-            best = np.full(vnet.n, -np.inf)
+            best = self._best
+            best.fill(-np.inf)
             np.maximum.at(best, receivers, payloads)
             self.joining = ~self.halted & (self.values > best)
         else:
-            got_joined = np.zeros(vnet.n, dtype=bool)
+            got_joined = self._got_joined
+            got_joined.fill(False)
             got_joined[receivers] = True
             join = self.joining & ~self.halted
             out = got_joined & ~self.halted & ~join
@@ -460,3 +732,7 @@ class LubyMISKernel(VectorizedAlgorithm):
 register_kernel("matching:proposal", ProposalMatchingKernel)
 register_kernel("mis:class-sweep", ColorClassMISKernel)
 register_kernel("mis:luby", LubyMISKernel)
+register_kernel("coloring:class-sweep", ColoringSweepKernel)
+register_kernel("ruling-set:class-sweep", RulingSweepKernel)
+register_kernel("arbdefective:class-sweep", ArbdefectiveSweepKernel)
+register_kernel("sinkless-orientation:global", GlobalOrientationKernel)

@@ -247,11 +247,11 @@ def build_sat_case(params: dict):
 
 
 #: Every registered algorithm, exercised through a compatible spec.  The
-#: fuzzer varies n / seed (and thereby the seeded default network).  The
-#: matrix deliberately spans both vectorized-engine paths: the first four
-#: rows run numpy kernels (matching:proposal, mis:aapr23, mis:luby),
-#: every other row exercises the per-node fallback of unported
-#: algorithms.
+#: fuzzer varies n / seed (and thereby the seeded default network).
+#: Every registered algorithm now names a numpy kernel, so each row
+#: differentially tests a kernel against the per-node engines (the
+#: fallback path keeps its own coverage in tests/local/test_vectorized.py
+#: via spec-less programs).
 ENGINE_CASE_MATRIX: tuple[tuple[str, str], ...] = (
     ("matching:delta=3,x=0,y=1", "matching:proposal"),
     ("maximal-matching:delta=4", "matching:proposal"),

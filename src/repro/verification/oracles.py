@@ -10,8 +10,8 @@ oracle                  cross-checked implementations
                         ``round_elimination`` (:mod:`repro.roundelim`)
 ``engines``             object vs batched vs vectorized execution of every
                         registered algorithm through
-                        :func:`repro.api.solve` (both the numpy kernels
-                        and the per-node fallback path)
+                        :func:`repro.api.solve` (every algorithm now
+                        dispatches to a numpy kernel)
 ``solver``              CSP existence vs brute-force enumeration, with the
                         returned solution validated by two checkers
 ``serialization``       canonical-JSON encode → decode → encode stability
@@ -197,10 +197,10 @@ class RoundElimOracle(Oracle):
 class EngineParityOracle(Oracle):
     """Byte parity of every registered engine against ``object``.
 
-    The case matrix spans both vectorized-engine paths: algorithms with a
-    numpy kernel (``matching:proposal``, ``mis:aapr23``, ``mis:luby``)
-    and unported algorithms exercising the per-node fallback.  Where
-    numpy is importable the ``vectorized`` engine must actually be
+    Every registered algorithm names a numpy kernel, so each matrix row
+    differentially tests a kernel against the per-node engines (a spec
+    naming an unregistered kernel raises rather than falling back).
+    Where numpy is importable the ``vectorized`` engine must actually be
     registered — a silent registration regression would otherwise shrink
     the matrix back to two engines without failing anything.
     """

@@ -106,6 +106,48 @@ class TestColoring:
         assert max(coloring.values()) <= degree  # (Δ+1) colors, 0-based
         assert rounds >= 1
 
+    def test_coloring_from_ids_uses_id_ranks(self):
+        """IDs are only distinct, not contiguous: adversarial IDs from
+        {1..n^3} must still yield the contiguous 0-based n-coloring (the
+        former ``id - 1`` shortcut inflated the class count n^2-fold)."""
+        from repro.algorithms.coloring_dist import coloring_from_ids
+        from repro.local import Network
+
+        graph, _d, _g = cage("petersen")
+        canonical = Network(graph=graph)
+        assert coloring_from_ids(canonical) == {
+            node: canonical.ids[node] - 1 for node in graph.nodes
+        }
+        adversarial = canonical.with_random_ids(seed=3)
+        coloring = coloring_from_ids(adversarial)
+        assert sorted(coloring.values()) == list(range(graph.number_of_nodes()))
+        # Rank order matches ID order.
+        by_id = sorted(graph.nodes, key=lambda v: adversarial.ids[v])
+        assert [coloring[node] for node in by_id] == list(
+            range(graph.number_of_nodes())
+        )
+
+    def test_class_sweep_matches_engine_run(self):
+        """The centralized helper is byte-identical to actually running
+        the node program (it replaced an internal simulation)."""
+        from repro.algorithms.coloring_dist import _ClassSweepNode
+        from repro.local import Network, run_synchronous
+
+        graph, _d, _g = cage("petersen")
+        initial = greedy_coloring(graph)
+        num_classes = max(initial.values(), default=-1) + 1
+        result = run_synchronous(
+            Network(graph=graph),
+            _ClassSweepNode,
+            extra=lambda node: {
+                "initial_color": initial[node],
+                "num_classes": num_classes,
+            },
+        )
+        coloring, rounds = class_sweep_coloring(graph, initial)
+        assert coloring == dict(result.outputs)
+        assert rounds == result.rounds
+
 
 class TestArbdefective:
     @pytest.mark.parametrize("colors", [1, 2, 3])

@@ -269,19 +269,37 @@ class TestSimulate:
         assert measurement.rounds == result.rounds
 
     def test_global_algorithm_simulates_directly(self):
+        # All shipped algorithms are message-kind since the vectorized
+        # port, so exercise the global path with a scratch instance
+        # (simulate accepts Algorithm instances directly).
+        class _GlobalEmptySet(api.Algorithm):
+            name = "mis:global-empty"
+            families = ("mis",)
+            kind = "global"
+
+            def run_global(self, network, spec, options, seed):
+                return set(), 0
+
         result, measurement = api.simulate(
-            "ruling-set:Δ=3,c=1,β=2",
-            algorithm="ruling-set:class-sweep",
-            n=16,
+            "mis:Δ=3", algorithm=_GlobalEmptySet(), n=16
         )
         assert isinstance(result.outputs, set)
-        assert measurement.rounds == result.rounds
+        assert measurement.rounds == result.rounds == 0
+        assert measurement.messages_delivered == 0
 
     def test_engine_validated_even_for_global_algorithms(self):
+        class _GlobalEmptySet(api.Algorithm):
+            name = "mis:global-empty"
+            families = ("mis",)
+            kind = "global"
+
+            def run_global(self, network, spec, options, seed):
+                return set(), 0
+
         with pytest.raises(InvalidParameterError, match="unknown engine"):
             api.simulate(
-                "ruling-set:Δ=3,c=1,β=2",
-                algorithm="ruling-set:class-sweep",
+                "mis:Δ=3",
+                algorithm=_GlobalEmptySet(),
                 engine="warp",
                 n=16,
             )

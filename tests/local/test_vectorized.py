@@ -130,12 +130,16 @@ class TestKernelDispatch:
 
     def test_shipped_programs_name_registered_kernels(self):
         """The ported suites really dispatch to kernels — a renamed kernel
-        would silently fall back to per-node execution (correct but slow,
-        and the tentpole claim would be void)."""
+        would raise at dispatch (and an unattached spec would silently
+        fall back, voiding the speedup claim)."""
         cases = [
             ("matching:proposal", "matching:delta=3,x=0,y=1"),
             ("mis:aapr23", "mis:delta=3"),
             ("mis:luby", "mis:delta=3"),
+            ("coloring:class-sweep", "coloring:delta=3,colors=4"),
+            ("ruling-set:class-sweep", "ruling-set:delta=3,colors=1,beta=2"),
+            ("arbdefective:class-sweep", "arbdefective:delta=4,colors=2"),
+            ("sinkless-orientation:global", "sinkless-orientation:delta=3"),
         ]
         for algorithm_name, spec_text in cases:
             algorithm = api.resolve_algorithm(algorithm_name)
@@ -153,14 +157,20 @@ class TestFallback:
             Network(graph=cycle(4)), _EchoIds
         )
 
-    def test_unknown_kernel_falls_back(self):
+    def test_unknown_kernel_raises_instead_of_falling_back(self):
+        """A spec naming an unregistered kernel is a bug (typo'd name,
+        kernel renamed without the spec): it must fail loudly, not
+        silently lose the speedup to the per-node path."""
         network = Network(graph=cycle(4))
-        result = run_vectorized(
-            network,
-            _EchoIds,
-            vectorized=VectorizedSpec(kernel="no-such-kernel"),
-        )
-        assert result == run_synchronous(Network(graph=cycle(4)), _EchoIds)
+        with pytest.raises(SimulationError, match="unknown kernel") as exc:
+            run_vectorized(
+                network,
+                _EchoIds,
+                vectorized=VectorizedSpec(kernel="no-such-kernel"),
+            )
+        # The message names the typo and the registry contents.
+        assert "no-such-kernel" in str(exc.value)
+        assert "matching:proposal" in str(exc.value)
 
     def test_fallback_traces_match_object_engine(self):
         def run(engine):
@@ -183,6 +193,10 @@ class TestKernelTraceParity:
             ("matching:proposal", "matching:delta=3,x=0,y=1"),
             ("mis:aapr23", "mis:delta=3"),
             ("mis:luby", "mis:delta=3"),
+            ("coloring:class-sweep", "coloring:delta=3,colors=4"),
+            ("ruling-set:class-sweep", "ruling-set:delta=3,colors=1,beta=2"),
+            ("arbdefective:class-sweep", "arbdefective:delta=4,colors=2"),
+            ("sinkless-orientation:global", "sinkless-orientation:delta=3"),
         ],
     )
     def test_traces_match(self, algorithm_name, spec_text):
@@ -208,3 +222,99 @@ class TestKernelTraceParity:
             return result, probe.traces
 
         assert run(run_vectorized, True) == run(run_synchronous, False)
+
+
+def _coloring_program(network, options):
+    algorithm = api.resolve_algorithm("coloring:class-sweep")
+    spec = api.ProblemSpec.parse("coloring:delta=3,colors=4")
+    return algorithm.program(network, spec, options)
+
+
+class TestSweepKernelEdges:
+    def test_payload_scatter_announces_final_colors(self):
+        """The payload-bearing exemplar: each announced ``("final", c)``
+        payload must actually land in the receiver's seen-colors row —
+        chained classes down a path make every mex depend on the
+        neighbor's payload from the previous round."""
+        nx = pytest.importorskip("networkx")
+        network = Network(graph=nx.path_graph(5))
+        program = _coloring_program(
+            network, {"initial_coloring": {i: i for i in range(5)}}
+        )
+        result = run_vectorized(
+            network,
+            program.factory,
+            extra=program.extra,
+            vectorized=program.vectorized,
+        )
+        # mex down the path: each value is dictated by the announced
+        # color of the already-final neighbor, so a lost payload shows.
+        assert result.outputs == {0: 0, 1: 1, 2: 0, 3: 1, 4: 0}
+        assert result.rounds == 5
+
+    def test_empty_graph_runs_zero_rounds(self):
+        nx = pytest.importorskip("networkx")
+        network = Network(graph=nx.Graph())
+        program = _coloring_program(network, {})
+        result = run_vectorized(
+            network,
+            program.factory,
+            extra=program.extra,
+            vectorized=program.vectorized,
+        )
+        assert result.outputs == {}
+        assert result.rounds == 0
+
+    def test_num_classes_zero_halts_at_init_with_color_zero(self):
+        """No classes to sweep: both engines halt everyone at init with
+        color 0 in zero rounds (the per-node program's halt(0) branch)."""
+        options = {"initial_coloring": dict.fromkeys(range(4), -1)}
+
+        def run(engine, with_spec):
+            network = Network(graph=cycle(4))
+            program = _coloring_program(network, options)
+            kwargs = {"vectorized": program.vectorized} if with_spec else {}
+            return engine(
+                network, program.factory, extra=program.extra, **kwargs
+            )
+
+        result = run(run_vectorized, True)
+        assert result == run(run_synchronous, False)
+        assert result.rounds == 0
+        assert result.outputs == dict.fromkeys(range(4), 0)
+
+
+class TestEnginePathTelemetry:
+    def test_kernel_dispatch_reported_to_probe(self):
+        _result, measurement = api.simulate(
+            "mis:delta=3",
+            algorithm="mis:aapr23",
+            engine="vectorized",
+            n=16,
+        )
+        assert measurement.engine_path == "kernel"
+        # Telemetry only: canonical records stay engine-blind.
+        assert "engine_path" not in measurement.as_record()
+
+    def test_fallback_reported_to_probe(self):
+        probe = EngineProbe()
+        run_vectorized(Network(graph=cycle(4)), _EchoIds, on_round=probe)
+        assert probe.engine_path == "fallback"
+
+    def test_object_engine_leaves_path_empty(self):
+        _result, measurement = api.simulate(
+            "mis:delta=3", algorithm="mis:aapr23", engine="object", n=16
+        )
+        assert measurement.engine_path == ""
+
+    def test_external_probe_forwarded_engine_path(self):
+        extern = EngineProbe()
+        _result, measurement = api.simulate(
+            "mis:delta=3",
+            algorithm="mis:aapr23",
+            engine="vectorized",
+            n=16,
+            probe=extern,
+        )
+        assert extern.engine_path == "kernel"
+        assert measurement.engine_path == "kernel"
